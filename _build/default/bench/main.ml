@@ -1,0 +1,150 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 6).
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table5    # one experiment
+     dune exec bench/main.exe -- --quick table5 table6   # fewer runs
+
+   Experiments: table2 table3 fig3 table5 table6 startup memory
+   ablation simperf.  EXPERIMENTS.md records the paper-vs-measured
+   comparison in full. *)
+
+open K23_eval
+
+let section title =
+  Printf.printf "\n======================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "======================================================================\n%!"
+
+let table2 () =
+  section "Table 2 - unique syscall instructions logged by the offline phase";
+  print_string (Offline_counts.render_table2 (Offline_counts.table2 ()))
+
+let table3 () =
+  section "Table 3 - pitfall matrix (Y = handled, x = not handled; paper in parens)";
+  let rows = K23_pitfalls.Harness.run_table3 () in
+  print_string (K23_pitfalls.Harness.render_table3 rows);
+  let mismatches =
+    List.concat_map
+      (fun { K23_pitfalls.Harness.pitfall; verdicts } ->
+        List.filter_map
+          (fun (sys, v) ->
+            if
+              v.K23_pitfalls.Harness.handled
+              <> K23_pitfalls.Harness.paper_expectation sys pitfall
+            then Some (pitfall, sys)
+            else None)
+          verdicts)
+      rows
+  in
+  Printf.printf "\n%d/27 cells match the paper.\n" (27 - List.length mismatches)
+
+let fig1 () =
+  section "Figure 1 - valid / partial / data-embedded syscall patterns";
+  print_string (Fig1.render ())
+
+let fig3 () =
+  section "Figure 3 - offline log generated for ls (region,offset pairs)";
+  print_string (Offline_counts.fig3 ())
+
+let table5 ~runs () =
+  section "Table 5 - microbenchmark overhead vs native";
+  print_string (Micro.render (Micro.table5 ~runs ()));
+  print_string
+    "\npaper:  zpoline-default 1.1267x | zpoline-ultra 1.1576x | lazypoline 1.3801x\n\
+     \        K23-default 1.2788x | K23-ultra 1.3919x | K23-ultra+ 1.3948x\n\
+     \        SUD-no-interposition 1.2269x | SUD 15.3022x\n"
+
+let table6 ~runs () =
+  section "Table 6 - macrobenchmarks (throughput relative to native, %)";
+  print_string (Macro.render (Macro.table6 ~runs ()));
+  print_string
+    "\npaper geomeans: zpoline-default 98.93 | zpoline-ultra 98.27 | lazypoline 98.26\n\
+     \                K23-default 98.62 | K23-ultra 97.96 | K23-ultra+ 97.90 | SUD 56.70\n"
+
+let startup () =
+  section "E7 - startup window (syscalls before the preload library initialises)";
+  print_string (Startup_bench.render (Startup_bench.run ()));
+  print_string
+    "\npaper: \"even simple utilities like ls issue over 100 system calls during\n\
+     startup before the interposition library is loaded\" (Section 6.1)\n"
+
+let memory () =
+  section "E8 / P4b - memory footprint of the NULL-execution check";
+  print_string (Memory_bench.render (Memory_bench.run ()))
+
+let ablation () =
+  section "E6 - feature-cost ablation (microbenchmark deltas)";
+  print_string (Ablation.render (Ablation.run ()))
+
+(* Bechamel measurements of the simulator's own hot paths: not a paper
+   artifact, but useful when hacking on the substrate. *)
+let simperf () =
+  section "simulator hot-path performance (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let prog =
+    K23_isa.Encode.assemble
+      [ Mov_ri (RAX, 500); Syscall; Mov_rr (RDI, RSI); Add_ri (RSP, 8); Ret ]
+  in
+  let set = K23_core.Robin_set.of_list (List.init 64 (fun i -> 0x400000 + (i * 16))) in
+  let tests =
+    [
+      Test.make ~name:"isa.decode" (Staged.stage (fun () -> K23_isa.Decode.decode_bytes prog 0));
+      Test.make ~name:"isa.linear-sweep"
+        (Staged.stage (fun () -> K23_isa.Disasm.find_syscall_sites prog ~base:0));
+      Test.make ~name:"robin_set.mem"
+        (Staged.stage (fun () -> K23_core.Robin_set.mem set 0x400080));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun t ->
+      let results = Benchmark.all cfg Instance.[ monotonic_clock ] t in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.OLS.estimates (Analyze.one ols Instance.monotonic_clock raw) with
+          | Some (est :: _) -> Printf.printf "%-24s %12.1f ns/op\n" name est
+          | Some [] | None -> Printf.printf "%-24s (no estimate)\n" name)
+        results)
+    tests
+
+let arm () =
+  section "extension - fixed-length ISA study (Section 7's claim, quantified)";
+  print_string (Contrast.render_arm_study (Contrast.arm_study ()))
+
+let seccomp () =
+  section "extension - seccomp-based interposition (the third Linux interface)";
+  print_string (Contrast.render_seccomp (Contrast.seccomp_micro ()))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let experiments =
+    if args = [] then
+      [
+        "table2"; "table3"; "fig1"; "fig3"; "table5"; "table6"; "startup"; "memory"; "ablation";
+        "seccomp"; "arm";
+      ]
+    else args
+  in
+  List.iter
+    (fun name ->
+      match name with
+      | "table2" -> table2 ()
+      | "table3" -> table3 ()
+      | "fig1" -> fig1 ()
+      | "fig3" -> fig3 ()
+      | "table5" -> table5 ~runs:(if quick then 3 else 10) ()
+      | "table6" -> table6 ~runs:(if quick then 3 else 5) ()
+      | "startup" -> startup ()
+      | "memory" -> memory ()
+      | "ablation" -> ablation ()
+      | "seccomp" -> seccomp ()
+      | "arm" -> arm ()
+      | "simperf" -> simperf ()
+      | other -> Printf.eprintf "unknown experiment %S\n" other)
+    experiments

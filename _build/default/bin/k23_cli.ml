@@ -1,0 +1,140 @@
+(* k23 — command-line front end.
+
+   Subcommands:
+     k23 run <app> [--under MECH]     run a bundled app under an interposer
+     k23 trace <app>                  strace-style listing via K23
+     k23 offline <app>                run the offline phase, print the log
+     k23 pitfalls                     run the PoCs, print Table 3
+     k23 apps                         list bundled applications
+
+   Bundled apps are the simulated coreutils (pwd, touch, ls, cat,
+   clear). *)
+
+open Cmdliner
+open K23_kernel
+open K23_userland
+module Apps = K23_apps
+module K23 = K23_core.K23
+module I = K23_interpose.Interpose
+
+let setup_world () =
+  let w = Sim.create_world () in
+  Apps.Coreutils.register_all w;
+  w
+
+let resolve_app name =
+  if List.exists (fun (n, _, _) -> n = name) Apps.Coreutils.all then Apps.Coreutils.path name
+  else name
+
+let mech_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "native" -> Ok K23_eval.Mech.Native
+    | "zpoline" -> Ok K23_eval.Mech.Zpoline_default
+    | "zpoline-ultra" -> Ok K23_eval.Mech.Zpoline_ultra
+    | "lazypoline" -> Ok K23_eval.Mech.Lazypoline
+    | "k23" -> Ok K23_eval.Mech.K23_default
+    | "k23-ultra" -> Ok K23_eval.Mech.K23_ultra
+    | "k23-ultra+" -> Ok K23_eval.Mech.K23_ultra_plus
+    | "sud" -> Ok K23_eval.Mech.Sud
+    | other -> Error (`Msg (Printf.sprintf "unknown mechanism %S" other))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (K23_eval.Mech.to_string m))
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Bundled app name or path.")
+
+let run_cmd =
+  let under =
+    Arg.(
+      value
+      & opt mech_conv K23_eval.Mech.K23_ultra
+      & info [ "under"; "u" ] ~docv:"MECH"
+          ~doc:
+            "Interposer: native, zpoline, zpoline-ultra, lazypoline, k23, k23-ultra, k23-ultra+, \
+             sud.")
+  in
+  let run app mech =
+    let w = setup_world () in
+    let path = resolve_app app in
+    if K23_eval.Mech.needs_offline mech then begin
+      ignore (K23.offline_run w ~path ());
+      K23.seal_logs w
+    end;
+    match K23_eval.Mech.launch mech w ~path () with
+    | Error e -> Printf.eprintf "launch failed: %s\n" (Errno.to_string e)
+    | Ok (p, stats) ->
+      World.run_until_exit w p;
+      print_string (World.stdout_of p);
+      Printf.printf "[%s] %s; %d app syscalls" (K23_eval.Mech.to_string mech)
+        (match (p.exit_status, p.term_signal) with
+        | Some s, _ -> Printf.sprintf "exit %d" s
+        | None, Some sg -> Printf.sprintf "killed by signal %d" sg
+        | None, None -> "did not terminate")
+        p.counters.c_app;
+      (match stats with
+      | Some s ->
+        Printf.printf ", %d interposed (%d ptrace / %d rewrite / %d SUD)\n" s.I.interposed
+          s.via_ptrace s.via_rewrite s.via_sigsys
+      | None -> print_newline ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an app under an interposition mechanism.")
+    Term.(const run $ app_arg $ under)
+
+let trace_cmd =
+  let run app =
+    let w = setup_world () in
+    let path = resolve_app app in
+    ignore (K23.offline_run w ~path ());
+    K23.seal_logs w;
+    let inner : I.handler =
+     fun ctx ~nr ~args ~site ->
+      Printf.printf "%s%-18s(%#x, %#x, %#x) @%#x\n"
+        (if ctx.thread.t_proc.startup_done then "" else "[startup] ")
+        (Sysno.name nr) args.(0) args.(1) args.(2) site;
+      Forward
+    in
+    match K23.launch w ~variant:K23.Default ~inner ~path () with
+    | Error e -> Printf.eprintf "launch failed: %s\n" (Errno.to_string e)
+    | Ok (p, stats) ->
+      World.run_until_exit w p;
+      Printf.printf "--- %d syscalls (exhaustive: %b)\n" stats.interposed
+        (stats.interposed = p.counters.c_app)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"strace-style syscall listing (exhaustive, via K23).")
+    Term.(const run $ app_arg)
+
+let offline_cmd =
+  let run app =
+    let w = setup_world () in
+    let path = resolve_app app in
+    let entries = K23.offline_run w ~path () in
+    Printf.printf "%d unique syscall sites:\n" (List.length entries);
+    List.iter
+      (fun e -> Printf.printf "%s,%d\n" e.K23_core.Log_store.region e.K23_core.Log_store.offset)
+      entries
+  in
+  Cmd.v
+    (Cmd.info "offline" ~doc:"Run K23's offline phase and print the site log (Figure 3 format).")
+    Term.(const run $ app_arg)
+
+let pitfalls_cmd =
+  let run () =
+    print_string (K23_pitfalls.Harness.render_table3 (K23_pitfalls.Harness.run_table3 ()))
+  in
+  Cmd.v
+    (Cmd.info "pitfalls" ~doc:"Run the P1-P5 PoCs; print the Table 3 matrix.")
+    Term.(const run $ const ())
+
+let apps_cmd =
+  let run () = List.iter (fun (n, _, _) -> Printf.printf "%s\n" n) Apps.Coreutils.all in
+  Cmd.v (Cmd.info "apps" ~doc:"List bundled applications.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "k23" ~version:"1.0.0"
+      ~doc:"K23 system call interposition on a simulated x86-64/Linux substrate"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; offline_cmd; pitfalls_cmd; apps_cmd ]))

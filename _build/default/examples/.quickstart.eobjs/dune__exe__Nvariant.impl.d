@@ -1,0 +1,1 @@
+examples/nvariant.ml: Array Asm Insn K23_core K23_interpose K23_isa K23_kernel K23_machine K23_userland List Printf Sim Sysno World

@@ -1,0 +1,1 @@
+examples/nvariant.mli:

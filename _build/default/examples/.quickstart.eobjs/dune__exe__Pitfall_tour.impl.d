@@ -1,0 +1,1 @@
+examples/pitfall_tour.ml: K23_pitfalls List Printf

@@ -1,0 +1,1 @@
+examples/pitfall_tour.mli:

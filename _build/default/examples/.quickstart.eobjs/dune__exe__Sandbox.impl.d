@@ -1,0 +1,1 @@
+examples/sandbox.ml: Array Asm Errno Insn K23_core K23_interpose K23_isa K23_kernel K23_machine K23_userland Kern Printf Sim String Sysno Vfs World

@@ -1,0 +1,1 @@
+examples/tracer.ml: Array K23_apps K23_core K23_interpose K23_kernel K23_machine K23_userland Kern Printf String Sysno World

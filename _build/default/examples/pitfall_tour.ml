@@ -1,0 +1,22 @@
+(* A guided tour of the System Call Interposition Pitfalls: runs every
+   PoC of Section 4 under zpoline, lazypoline and K23, narrating what
+   happens — the executable version of the paper's Table 3.
+
+   Run with:  dune exec examples/pitfall_tour.exe *)
+
+module H = K23_pitfalls.Harness
+
+let () =
+  List.iter
+    (fun pf ->
+      Printf.printf "\n%s — %s\n" (H.pitfall_to_string pf) (H.pitfall_description pf);
+      List.iter
+        (fun sys ->
+          let v = H.check sys pf in
+          Printf.printf "  %-12s %s  (%s)\n" (H.system_to_string sys)
+            (if v.H.handled then "handled    " else "NOT handled")
+            v.H.detail)
+        H.all_systems)
+    H.all_pitfalls;
+  print_newline ();
+  print_string (H.render_table3 (H.run_table3 ()))

@@ -1,0 +1,52 @@
+(* strace built on K23: print every system call of /bin/ls with
+   decoded arguments — including the >100 calls the dynamic loader
+   issues before main, which LD_PRELOAD-only tools cannot see.
+
+   Run with:  dune exec examples/tracer.exe *)
+
+open K23_kernel
+module K23 = K23_core.K23
+module Apps = K23_apps
+
+let string_arg ctx addr =
+  if addr = 0 then "NULL"
+  else
+    match K23_machine.Memory.read_cstr ctx.Kern.thread.t_proc.mem addr with
+    | s when String.length s > 0 && String.length s < 60 -> Printf.sprintf "%S" s
+    | _ -> Printf.sprintf "%#x" addr
+
+(* decode the interesting arguments per syscall, strace-style *)
+let render ctx ~nr ~(args : int array) =
+  let s = string_arg ctx in
+  match Sysno.name nr with
+  | "openat" -> Printf.sprintf "openat(AT_FDCWD, %s, %#x)" (s args.(1)) args.(2)
+  | "open" | "stat" | "access" | "unlink" | "chdir" | "mkdir" ->
+    Printf.sprintf "%s(%s)" (Sysno.name nr) (s args.(0))
+  | "read" | "write" ->
+    Printf.sprintf "%s(%d, %#x, %d)" (Sysno.name nr) args.(0) args.(1) args.(2)
+  | "mmap" ->
+    Printf.sprintf "mmap(%#x, %d, prot=%d, flags=%#x, fd=%d)" args.(0) args.(1) args.(2)
+      args.(3) args.(4)
+  | "execve" -> Printf.sprintf "execve(%s, ...)" (s args.(0))
+  | name -> Printf.sprintf "%s(%d, %d, %d)" name args.(0) args.(1) args.(2)
+
+let () =
+  let w = K23_userland.Sim.create_world () in
+  Apps.Coreutils.register_all w;
+  let path = Apps.Coreutils.path "ls" in
+  ignore (K23.offline_run w ~path ());
+  K23.seal_logs w;
+  let count = ref 0 in
+  let inner : K23_interpose.Interpose.handler =
+   fun ctx ~nr ~args ~site ->
+    incr count;
+    let phase = if ctx.thread.t_proc.startup_done then "      " else "start>" in
+    Printf.printf "%s %-4d %s @%#x\n" phase !count (render ctx ~nr ~args) site;
+    Forward
+  in
+  match K23.launch w ~variant:K23.Default ~inner ~path () with
+  | Error e -> Printf.eprintf "launch failed: %d\n" e
+  | Ok (p, stats) ->
+    World.run_until_exit w p;
+    Printf.printf "--- %d syscalls traced (%d during startup, invisible to LD_PRELOAD tools)\n"
+      stats.interposed p.counters.c_startup

@@ -1,0 +1,1 @@
+lib/apps/appkit.ml: Array Asm Insn K23_isa K23_kernel K23_machine K23_util Kern List Sysno

@@ -1,0 +1,1 @@
+lib/apps/coreutils.ml: Appkit Asm Insn K23_isa K23_kernel K23_userland Kern List String Vfs

@@ -1,0 +1,1 @@
+lib/apps/redis_like.ml: Appkit Array Asm Bytes Hashtbl Insn K23_isa K23_kernel K23_userland Libc Stdlibs

@@ -1,0 +1,1 @@
+lib/apps/sqlite_like.ml: Appkit Asm Bytes Insn K23_isa K23_kernel K23_userland Kern Libc Stdlibs String Vfs

@@ -1,0 +1,1 @@
+lib/apps/wrk.ml: Appkit Array Asm Bytes Hashtbl Insn K23_isa K23_kernel K23_machine K23_userland Kern Lazy Mapper Option Regs Sysno

@@ -1,0 +1,219 @@
+(** wrk-like / redis-benchmark-like load generator.
+
+    One client process with [threads] threads; each thread opens
+    [conns] connections, then drives them in rounds: it writes one
+    request on every connection, then reads every response (so up to
+    [conns] requests are outstanding — wrk's epoll concurrency).  A
+    per-request cost models the client's own protocol work: small for
+    wrk, substantial for redis-benchmark (which is why the paper's
+    1-I/O-thread redis configuration is client-bound and barely feels
+    the interposer).
+
+    The thread logic is a host-side state machine (same pattern as the
+    dynamic loader): every system call the client performs is still a
+    genuine [syscall] instruction in the client binary. *)
+
+open K23_isa
+open K23_kernel
+open K23_machine
+
+type config = {
+  path : string;
+  port : int;
+  threads : int;
+  conns : int;  (** connections per thread (served sequentially) *)
+  depth : int;  (** pipeline depth: outstanding requests per connection *)
+  rounds : int;  (** rounds of [depth] requests per connection *)
+  req_cost : int;  (** client-side work per request *)
+  resp_len : int;  (** exact response size, for framed reads *)
+}
+
+type results = {
+  mutable completed : int;
+  mutable started_at : int option;  (** cycles when the load phase began *)
+  mutable errors : int;
+}
+
+type mode =
+  | Spawn of int  (** remaining threads to create *)
+  | Mmap_stack of int
+  | Socket
+  | Connect
+  | Fill  (** prime the pipeline with [depth] requests *)
+  | Steady_recv  (** sliding window: read one response ... *)
+  | Steady_send  (** ... then send the next request *)
+  | Close
+  | Finished
+
+type tstate = {
+  mutable mode : mode;
+  mutable fds : int array;
+  mutable nconn : int;
+  mutable cur_fd : int;
+  mutable sent : int;
+  mutable received : int;
+  mutable stack : int;
+  mutable post : int -> unit;
+}
+
+let fresh_tstate mode =
+  {
+    mode;
+    fds = [||];
+    nconn = 0;
+    cur_fd = -1;
+    sent = 0;
+    received = 0;
+    stack = 0;
+    post = ignore;
+  }
+
+let items () =
+  [
+    Asm.Label "main";
+    Asm.Label "wk_thread_entry";
+    Asm.Label "wk_loop";
+    Asm.Vcall_named "wk_step";
+    Asm.I (Insn.Cmp_ri (RBX, 0));
+    Asm.Jc (Insn.NZ, "wk_notsys");
+    Asm.I Insn.Syscall;
+    Asm.Vcall_named "wk_ret";
+    Asm.J "wk_loop";
+    Asm.Label "wk_notsys";
+    Asm.I (Insn.Cmp_ri (RBX, 1));
+    Asm.Jc (Insn.NZ, "wk_exit_proc");
+    Asm.I (Insn.Xor_rr (RDI, RDI));
+    Asm.Call_sym "exit_thread";
+    Asm.Label "wk_exit_proc";
+    Asm.I (Insn.Xor_rr (RDI, RDI));
+    Asm.Call_sym "exit";
+    Asm.Section `Data;
+    Asm.Label "wk_req";
+    Asm.Blob (Bytes.make 64 'Q');
+    Asm.Label "wk_buf";
+    Asm.Zeros 8192;
+  ]
+
+(** Build and register the client; returns the shared results record. *)
+let register w cfg : results =
+  let results = { completed = 0; started_at = None; errors = 0 } in
+  let states : (int, tstate) Hashtbl.t = Hashtbl.create 16 in
+  let live_threads = ref cfg.threads in
+  let im_ref = ref None in
+  let lazy_im = lazy (Option.get !im_ref) in
+  let state_of (ctx : Kern.ctx) =
+    match Hashtbl.find_opt states ctx.thread.tid with
+    | Some st -> st
+    | None ->
+      (* the first thread to step is the main thread: it spawns the
+         others, which go straight to connecting *)
+      let is_main = Hashtbl.length states = 0 in
+      let st =
+        fresh_tstate (if is_main && cfg.threads > 1 then Spawn (cfg.threads - 1) else Socket)
+      in
+      Hashtbl.replace states ctx.thread.tid st;
+      st
+  in
+  let data_sym (ctx : Kern.ctx) name =
+    match Mapper.image_sym ctx.thread.t_proc (Lazy.force lazy_im) name with
+    | Some a -> a
+    | None -> Kern.panic "wrk: missing symbol %s" name
+  in
+  let set ctx r v = Regs.set ctx.Kern.thread.regs r v in
+  let sys (ctx : Kern.ctx) st nr a0 a1 a2 ~post =
+    set ctx RAX nr;
+    set ctx RDI a0;
+    set ctx RSI a1;
+    set ctx RDX a2;
+    set ctx R10 0;
+    set ctx R8 0;
+    set ctx R9 0;
+    set ctx RBX 0;
+    st.post <- post
+  in
+  let sys6 (ctx : Kern.ctx) st nr args ~post =
+    set ctx RAX nr;
+    set ctx RDI args.(0);
+    set ctx RSI args.(1);
+    set ctx RDX args.(2);
+    set ctx R10 args.(3);
+    set ctx R8 args.(4);
+    set ctx R9 args.(5);
+    set ctx RBX 0;
+    st.post <- post
+  in
+  let rec wk_step (ctx : Kern.ctx) =
+    let st = state_of ctx in
+    match st.mode with
+    | Spawn 0 ->
+      st.mode <- Socket;
+      wk_step ctx
+    | Spawn n ->
+      st.mode <- Mmap_stack n;
+      sys6 ctx st Sysno.mmap [| 0; 0x10000; 3; 0x20; -1; 0 |] ~post:(fun r -> st.stack <- r)
+    | Mmap_stack n ->
+      st.mode <- Spawn (n - 1);
+      sys ctx st Sysno.clone (data_sym ctx "wk_thread_entry") (st.stack + 0xf000) 0 ~post:ignore
+    | Socket ->
+      sys ctx st Sysno.socket 2 1 0 ~post:(fun r ->
+          st.cur_fd <- r;
+          st.mode <- Connect)
+    | Connect ->
+      sys ctx st Sysno.connect st.cur_fd cfg.port 0 ~post:(fun r ->
+          if r < 0 then begin
+            (* server not listening yet: retry with a fresh socket *)
+            results.errors <- results.errors + 1;
+            st.mode <- Socket
+          end
+          else begin
+            st.nconn <- st.nconn + 1;
+            if results.started_at = None then results.started_at <- Some (Kern.now ctx.world);
+            st.sent <- 0;
+            st.received <- 0;
+            st.mode <- Fill
+          end)
+    | Fill ->
+      (* prime the pipeline: [depth] outstanding requests, like wrk's
+         16 concurrent connections per thread *)
+      let total = cfg.depth * cfg.rounds in
+      Appkit.charge_work ctx cfg.req_cost;
+      sys ctx st Sysno.write st.cur_fd (data_sym ctx "wk_req") 64 ~post:(fun _ ->
+          st.sent <- st.sent + 1;
+          if st.sent >= min cfg.depth total then st.mode <- Steady_recv)
+    | Steady_recv ->
+      (* sliding window: one response in, one request out — the
+         pipeline never drains, so the server never starves *)
+      let total = cfg.depth * cfg.rounds in
+      sys ctx st Sysno.read st.cur_fd (data_sym ctx "wk_buf") cfg.resp_len ~post:(fun r ->
+          if r > 0 then results.completed <- results.completed + 1
+          else results.errors <- results.errors + 1;
+          st.received <- st.received + 1;
+          if st.received >= total then st.mode <- Close
+          else if st.sent < total then st.mode <- Steady_send)
+    | Steady_send ->
+      Appkit.charge_work ctx cfg.req_cost;
+      sys ctx st Sysno.write st.cur_fd (data_sym ctx "wk_req") 64 ~post:(fun _ ->
+          st.sent <- st.sent + 1;
+          st.mode <- Steady_recv)
+    | Close ->
+      (* finish this connection; open the next one if any remain *)
+      sys ctx st Sysno.close st.cur_fd 0 0 ~post:(fun _ ->
+          st.mode <- (if st.nconn >= cfg.conns then Finished else Socket))
+    | Finished ->
+      decr live_threads;
+      (* last thread out terminates the whole benchmark process *)
+      set ctx RBX (if !live_threads <= 0 then 2 else 1)
+  in
+  let wk_ret (ctx : Kern.ctx) =
+    let st = state_of ctx in
+    let f = st.post in
+    st.post <- ignore;
+    f (Regs.get ctx.thread.regs RAX)
+  in
+  let im =
+    K23_userland.Sim.register_app w ~path:cfg.path
+      ~host_fns:[ ("wk_step", wk_step); ("wk_ret", wk_ret) ]
+      (items ())
+  in
+  im_ref := Some im;
+  results

@@ -1,0 +1,1 @@
+lib/baselines/lazypoline.ml: Asm Hashtbl Insn K23_interpose K23_isa K23_kernel K23_machine Kern Lazy Mapper Memory Option World

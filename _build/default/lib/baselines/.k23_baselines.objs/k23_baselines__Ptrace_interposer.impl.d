@@ -1,0 +1,1 @@
+lib/baselines/ptrace_interposer.ml: K23_interpose K23_kernel Kern World

@@ -1,0 +1,1 @@
+lib/baselines/seccomp_interposer.ml: Asm Bpf Hashtbl Insn K23_interpose K23_isa K23_kernel Kern Lazy List Mapper Option World

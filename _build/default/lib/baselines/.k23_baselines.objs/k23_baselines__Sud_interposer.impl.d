@@ -1,0 +1,1 @@
+lib/baselines/sud_interposer.ml: Asm Insn K23_interpose K23_isa K23_kernel Kern Lazy Mapper Option World

@@ -1,0 +1,1 @@
+lib/baselines/zpoline.ml: Asm Disasm Hashtbl Insn K23_interpose K23_isa K23_kernel K23_machine Kern List Memory World

@@ -1,0 +1,1 @@
+lib/core/k23.ml: Array Errno K23_interpose K23_isa K23_kernel K23_machine Kern Libk23 List Log_store Offline Printf Ptracer Robin_set Sysno World

@@ -1,0 +1,1 @@
+lib/core/libk23.ml: Asm Hashtbl Insn K23_interpose K23_isa K23_kernel K23_machine Kern Lazy List Log_store Mapper Memory Option Robin_set Sysno

@@ -1,0 +1,1 @@
+lib/core/log_store.ml: Errno Filename K23_kernel Kern List Option Printf String Vfs

@@ -1,0 +1,1 @@
+lib/core/log_store.mli: K23_kernel

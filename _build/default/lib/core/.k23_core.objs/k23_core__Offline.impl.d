@@ -1,0 +1,1 @@
+lib/core/offline.ml: Asm Hashtbl Insn K23_interpose K23_isa K23_kernel K23_machine Kern Lazy List Log_store Mapper Memory Option

@@ -1,0 +1,1 @@
+lib/core/ptracer.ml: Array Errno K23_interpose K23_kernel K23_machine Kern List Memory Regs String Syscalls Sysno

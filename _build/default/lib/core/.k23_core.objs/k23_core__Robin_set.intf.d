@@ -1,0 +1,1 @@
+lib/core/robin_set.mli:

@@ -1,0 +1,104 @@
+(** K23's offline phase: libLogger (Section 5.1).
+
+    The target runs in a controlled environment with representative
+    inputs under an SUD-based interposition library.  On every SIGSYS,
+    libLogger resolves the trapping [syscall]/[sysenter] instruction to
+    its containing memory region (via /proc/PID/maps) and records the
+    unique (region, offset) pair — but only for instructions inside
+    expected executable, non-writable regions, so dynamically generated
+    code never enters the logs.  Performance is irrelevant here.
+
+    A ptracer-like companion (see {!Ptracer.preload_enforcer}) keeps
+    libLogger injected across execve even if the program scrubs its
+    environment; it records nothing itself. *)
+
+open K23_isa
+open K23_machine
+open K23_kernel
+open Kern
+open K23_interpose.Interpose
+
+let lib_path = "/usr/lib/liblogger.so"
+
+type state = { mutable seen : (string * int) list }
+
+type Kern.pstate += Logger of state
+
+let state_key = "liblogger"
+
+let get_state (p : proc) =
+  match Hashtbl.find_opt p.pstates state_key with
+  | Some (Logger s) -> s
+  | _ ->
+    let s = { seen = [] } in
+    Hashtbl.replace p.pstates state_key (Logger s);
+    s
+
+(** Record the site that raised SIGSYS, if it lives in an expected
+    region: executable, non-writable, and owned by the application or
+    a library — never the interposer itself, the trampoline, a stack,
+    or an anonymous (possibly JIT) mapping. *)
+let log_site (ctx : ctx) ~site ~nr:_ =
+  let p = ctx.thread.t_proc in
+  let w = ctx.world in
+  match find_region p site with
+  | Some r
+    when r.r_perm.Memory.x && (not r.r_perm.Memory.w)
+         && (match r.r_owner with
+            | App | Libc | Ldso | Lib _ -> true
+            | Vdso | Interposer | Trampoline | Anon | Stack -> false) ->
+    let st = get_state p in
+    let entry = (r.r_name, site - r.r_start) in
+    if not (List.mem entry st.seen) then begin
+      st.seen <- entry :: st.seen;
+      Log_store.append w ~app:p.cmd
+        [ { Log_store.region = fst entry; offset = snd entry } ]
+    end
+  | Some _ | None -> ()
+
+let image ~stats () : image =
+  let im_ref = ref None in
+  let lazy_im = lazy (Option.get !im_ref) in
+  let selector p = Mapper.image_sym p (Lazy.force lazy_im) "logger_selector" in
+  let cfg =
+    {
+      cfg_name = "liblogger";
+      pre_cost = 150;
+      post_cost = 80;
+      null_check = None;
+      null_check_cost = 0;
+      stack_switch = false;
+      sud_selector = selector;
+      handler = counting_handler stats;
+      stats;
+    }
+  in
+  let init (ctx : ctx) =
+    let p = ctx.thread.t_proc in
+    ignore (get_state p);
+    let sel_addr = arm_sud ctx ~im:(Lazy.force lazy_im) ~selector_sym:"logger_selector" in
+    set_selector_all_slots p ~sel_addr selector_block
+  in
+  let items =
+    [ Asm.Label "__logger_init"; Asm.Vcall_named "logger_init"; Asm.I Insn.Ret ]
+    @ sigsys_handler_items ()
+    @ [ Asm.Section `Data; Asm.Label "logger_selector"; Asm.Zeros 64 ]
+  in
+  let im =
+    {
+      im_name = lib_path;
+      im_prog = Asm.assemble items;
+      im_host_fns =
+        [
+          ("logger_init", init);
+          ("sigsys_pre", sigsys_pre cfg ~im:lazy_im ~on_sigsys:log_site ());
+          ("sigsys_post", sigsys_post cfg);
+        ];
+      im_init = Some "__logger_init";
+      im_entry = None;
+      im_needed = [];
+      im_owner = Interposer;
+    }
+  in
+  im_ref := Some im;
+  im

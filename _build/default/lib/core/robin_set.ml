@@ -1,0 +1,127 @@
+(** Robin-Hood open-addressing hash set of non-negative integers.
+
+    K23 stores the virtual addresses of the pre-validated, rewritten
+    [syscall]/[sysenter] sites here and performs the NULL-execution
+    check against it (Section 5.3).  Unlike zpoline's bitmap, the
+    memory footprint is proportional to the number of logged sites
+    (7-92 in the paper's experiments; Table 2) rather than the size of
+    the virtual address space — which is the whole point of the P4b
+    fix.  The paper's prototype uses tsl::robin_set; this is the same
+    algorithm (forward probing with probe-distance stealing, backward
+    shift deletion). *)
+
+type t = {
+  mutable slots : int array;  (** -1 marks an empty slot *)
+  mutable size : int;
+}
+
+let empty_slot = -1
+
+let create ?(capacity = 16) () =
+  let cap = max 8 capacity in
+  (* round up to a power of two for cheap masking *)
+  let rec pow2 n = if n >= cap then n else pow2 (n * 2) in
+  { slots = Array.make (pow2 8) empty_slot; size = 0 }
+
+let capacity t = Array.length t.slots
+
+let cardinal t = t.size
+
+(* SplitMix-style finalizer: addresses are highly regular (page-aligned
+   bases plus small offsets), so mixing matters. *)
+let hash key =
+  let open Int64 in
+  let z = mul (of_int (key + 1)) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  to_int (logxor z (shift_right_logical z 27)) land Stdlib.max_int
+
+let slot_of t key = hash key land (capacity t - 1)
+
+let probe_distance t ~slot ~key =
+  let home = slot_of t key in
+  (slot - home + capacity t) land (capacity t - 1)
+
+let mem t key =
+  let cap = capacity t in
+  let rec go i dist =
+    let k = t.slots.(i) in
+    if k = empty_slot then false
+    else if k = key then true
+    else if probe_distance t ~slot:i ~key:k < dist then false
+      (* richer element found: key cannot be further along *)
+    else go ((i + 1) land (cap - 1)) (dist + 1)
+  in
+  go (slot_of t key) 0
+
+let rec insert_raw t key =
+  let cap = capacity t in
+  let rec go i cur cur_dist =
+    let k = t.slots.(i) in
+    if k = empty_slot then t.slots.(i) <- cur
+    else if k = cur then ()
+    else
+      let k_dist = probe_distance t ~slot:i ~key:k in
+      if k_dist < cur_dist then begin
+        (* rob the rich: displace the closer-to-home element *)
+        t.slots.(i) <- cur;
+        go ((i + 1) land (cap - 1)) k (k_dist + 1)
+      end
+      else go ((i + 1) land (cap - 1)) cur (cur_dist + 1)
+  in
+  go (slot_of t key) key 0
+
+and grow t =
+  let old = t.slots in
+  t.slots <- Array.make (Array.length old * 2) empty_slot;
+  Array.iter (fun k -> if k <> empty_slot then insert_raw t k) old
+
+let add t key =
+  if key < 0 then invalid_arg "Robin_set.add: negative key";
+  if not (mem t key) then begin
+    if (t.size + 1) * 4 > capacity t * 3 then grow t;
+    insert_raw t key;
+    t.size <- t.size + 1
+  end
+
+(** Backward-shift deletion: close the hole by sliding back every
+    subsequent element that is not at its home slot. *)
+let remove t key =
+  let cap = capacity t in
+  let rec find i dist =
+    let k = t.slots.(i) in
+    if k = empty_slot then None
+    else if k = key then Some i
+    else if probe_distance t ~slot:i ~key:k < dist then None
+    else find ((i + 1) land (cap - 1)) (dist + 1)
+  in
+  match find (slot_of t key) 0 with
+  | None -> false
+  | Some i ->
+    let rec shift i =
+      let next = (i + 1) land (cap - 1) in
+      let k = t.slots.(next) in
+      if k = empty_slot || probe_distance t ~slot:next ~key:k = 0 then t.slots.(i) <- empty_slot
+      else begin
+        t.slots.(i) <- k;
+        shift next
+      end
+    in
+    shift i;
+    t.size <- t.size - 1;
+    true
+
+let iter f t = Array.iter (fun k -> if k <> empty_slot then f k) t.slots
+
+let of_list keys =
+  let t = create ~capacity:(List.length keys * 2) () in
+  List.iter (add t) keys;
+  t
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k -> acc := k :: !acc) t;
+  List.sort compare !acc
+
+(** Approximate resident size in bytes — compared against zpoline's
+    bitmap in the P4b benchmark. *)
+let memory_bytes t = (capacity t * 8) + 24

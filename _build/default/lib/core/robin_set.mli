@@ -1,0 +1,38 @@
+(** Robin-Hood open-addressing hash set of non-negative integers.
+
+    K23's NULL-execution check stores the virtual addresses of its
+    pre-validated, rewritten [syscall]/[sysenter] sites here
+    (Section 5.3): memory is proportional to the offline-log size
+    (7-92 entries in the paper's Table 2), not to the virtual address
+    space like zpoline's bitmap — the P4b fix.  The algorithm matches
+    tsl::robin_set, the library used by the paper's prototype: forward
+    probing with probe-distance stealing and backward-shift
+    deletion. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh set; capacity is rounded up to a power of two (min 8). *)
+
+val add : t -> int -> unit
+(** Insert a key.  Idempotent.  Grows at 75% load.
+    @raise Invalid_argument on negative keys. *)
+
+val mem : t -> int -> bool
+(** Membership test — the hot path of the NULL-execution check. *)
+
+val remove : t -> int -> bool
+(** Delete a key (backward-shift); returns whether it was present. *)
+
+val cardinal : t -> int
+val capacity : t -> int
+
+val iter : (int -> unit) -> t -> unit
+val of_list : int list -> t
+
+val to_list : t -> int list
+(** Sorted, duplicate-free. *)
+
+val memory_bytes : t -> int
+(** Approximate resident size in bytes, reported by the P4b memory
+    benchmark. *)

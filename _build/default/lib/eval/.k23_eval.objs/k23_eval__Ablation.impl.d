@@ -1,0 +1,1 @@
+lib/eval/ablation.ml: Buffer List Mech Micro Printf

@@ -1,0 +1,1 @@
+lib/eval/contrast.ml: Array Bytes Char Disasm Encode Insn K23_baselines K23_isa K23_isa_arm K23_kernel K23_userland K23_util List Micro Printf Sim

@@ -1,0 +1,1 @@
+lib/eval/fig1.ml: Buffer Bytes Disasm Encode K23_isa List Printf String

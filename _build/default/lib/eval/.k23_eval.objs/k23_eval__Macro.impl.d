@@ -1,0 +1,1 @@
+lib/eval/macro.ml: Buffer Hashtbl K23_apps K23_core K23_interpose K23_kernel K23_userland K23_util Kern List Mech Option Printf Ptracer_enforcer Sim World

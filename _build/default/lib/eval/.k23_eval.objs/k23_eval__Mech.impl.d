@@ -1,0 +1,1 @@
+lib/eval/mech.ml: K23_baselines K23_core K23_kernel World

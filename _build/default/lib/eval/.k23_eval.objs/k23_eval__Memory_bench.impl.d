@@ -1,0 +1,1 @@
+lib/eval/memory_bench.ml: Buffer K23_apps K23_baselines K23_core K23_kernel K23_userland List Printf Sim World

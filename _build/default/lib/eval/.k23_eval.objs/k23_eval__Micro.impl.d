@@ -1,0 +1,1 @@
+lib/eval/micro.ml: Array Asm Buffer Insn K23_core K23_isa K23_kernel K23_userland K23_util Kern List Mech Printf Sim Sysno World

@@ -1,0 +1,1 @@
+lib/eval/offline_counts.ml: Buffer K23_apps K23_core K23_interpose K23_kernel K23_userland Kern List Macro Printf Ptracer_enforcer Sim Vfs World

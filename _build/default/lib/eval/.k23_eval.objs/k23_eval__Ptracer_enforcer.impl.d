@@ -1,0 +1,1 @@
+lib/eval/ptracer_enforcer.ml: K23_core

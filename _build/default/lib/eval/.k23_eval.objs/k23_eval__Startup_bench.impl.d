@@ -1,0 +1,1 @@
+lib/eval/startup_bench.ml: Buffer K23_apps K23_baselines K23_interpose K23_kernel K23_userland Kern List Printf Sim World

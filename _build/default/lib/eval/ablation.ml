@@ -1,0 +1,57 @@
+(** E6: feature-cost ablation (the design choices DESIGN.md calls
+    out).  Uses the Table 5 marginal measurements to isolate:
+
+    - the NULL-execution check, bitmap (zpoline) vs hash set (K23) —
+      the paper observes the hash set costs more cycles but vastly
+      less memory (Section 6.2.1);
+    - the dedicated-stack switch (K23-ultra+);
+    - the price of arming SUD at all (the fallback's standing cost,
+      paid even on the rewritten fast path). *)
+
+type entry = { feature : string; delta_overhead : float; comment : string }
+
+let run ?(runs = 6) () =
+  let per mech = (Micro.overhead_row ~runs mech).overhead in
+  let zp_d = per Mech.Zpoline_default in
+  let zp_u = per Mech.Zpoline_ultra in
+  let k_d = per Mech.K23_default in
+  let k_u = per Mech.K23_ultra in
+  let k_up = per Mech.K23_ultra_plus in
+  let sud_off = per Mech.Sud_no_interposition in
+  [
+    {
+      feature = "NULL-exec check: bitmap (zpoline)";
+      delta_overhead = zp_u -. zp_d;
+      comment = "fast lookup, 2^45 B reservation";
+    };
+    {
+      feature = "NULL-exec check: hash set (K23)";
+      delta_overhead = k_u -. k_d;
+      comment = "slightly slower, memory bounded by offline logs";
+    };
+    {
+      feature = "dedicated stack switch (ultra+)";
+      delta_overhead = k_up -. k_u;
+      comment = "hardening for security-critical deployments";
+    };
+    {
+      feature = "SUD fallback armed (kernel slow path)";
+      delta_overhead = sud_off -. 1.0;
+      comment = "standing cost of exhaustiveness, paid by K23/lazypoline";
+    };
+    {
+      feature = "K23 trampoline vs zpoline trampoline";
+      delta_overhead = k_d -. sud_off -. (zp_d -. 1.0);
+      comment = "negative = K23's rcx/r11 reuse beats zpoline's entry";
+    };
+  ]
+
+let render entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%-42s %10s  %s\n" "Feature" "delta(x)" "");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-42s %+10.4f  %s\n" e.feature e.delta_overhead e.comment))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,67 @@
+(** The interposition mechanisms compared in the evaluation
+    (Tables 4-6). *)
+
+open K23_kernel
+module Zp = K23_baselines.Zpoline
+module Lp = K23_baselines.Lazypoline
+module Sud = K23_baselines.Sud_interposer
+module K23 = K23_core.K23
+
+type t =
+  | Native
+  | Zpoline_default
+  | Zpoline_ultra
+  | Lazypoline
+  | K23_default
+  | K23_ultra
+  | K23_ultra_plus
+  | Sud_no_interposition  (** SUD armed, selector left on ALLOW *)
+  | Sud
+
+let to_string = function
+  | Native -> "native"
+  | Zpoline_default -> "zpoline-default"
+  | Zpoline_ultra -> "zpoline-ultra"
+  | Lazypoline -> "lazypoline"
+  | K23_default -> "K23-default"
+  | K23_ultra -> "K23-ultra"
+  | K23_ultra_plus -> "K23-ultra+"
+  | Sud_no_interposition -> "SUD-no-interposition"
+  | Sud -> "SUD"
+
+(** Table 5 rows, in the paper's order. *)
+let table5_rows =
+  [
+    Zpoline_default;
+    Zpoline_ultra;
+    Lazypoline;
+    K23_default;
+    K23_ultra;
+    K23_ultra_plus;
+    Sud_no_interposition;
+    Sud;
+  ]
+
+(** Table 6 columns. *)
+let table6_cols =
+  [ Zpoline_default; Zpoline_ultra; Lazypoline; K23_default; K23_ultra; K23_ultra_plus; Sud ]
+
+let needs_offline = function
+  | K23_default | K23_ultra | K23_ultra_plus -> true
+  | Native | Zpoline_default | Zpoline_ultra | Lazypoline | Sud | Sud_no_interposition -> false
+
+(** Launch [path] under the mechanism.  Returns the process (and the
+    interposition stats for non-native mechanisms). *)
+let launch mech w ~path ?argv ?env () =
+  let ok = function Ok (p, s) -> Ok (p, Some s) | Error e -> Error e in
+  match mech with
+  | Native -> (
+    match World.spawn w ~path ?argv ?env () with Ok p -> Ok (p, None) | Error e -> Error e)
+  | Zpoline_default -> ok (Zp.launch w ~variant:Zp.Default ~path ?argv ?env ())
+  | Zpoline_ultra -> ok (Zp.launch w ~variant:Zp.Ultra ~path ?argv ?env ())
+  | Lazypoline -> ok (Lp.launch w ~path ?argv ?env ())
+  | K23_default -> ok (K23.launch w ~variant:K23.Default ~path ?argv ?env ())
+  | K23_ultra -> ok (K23.launch w ~variant:K23.Ultra ~path ?argv ?env ())
+  | K23_ultra_plus -> ok (K23.launch w ~variant:K23.Ultra_plus ~path ?argv ?env ())
+  | Sud -> ok (Sud.launch w ~interpose_on:true ~path ?argv ?env ())
+  | Sud_no_interposition -> ok (Sud.launch w ~interpose_on:false ~path ?argv ?env ())

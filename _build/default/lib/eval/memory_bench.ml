@@ -1,0 +1,67 @@
+(** E8 / P4b: memory cost of the NULL-execution-check state.
+
+    zpoline's bitmap spans the whole 2^48-byte virtual address space
+    (one bit per address); K23 keeps a Robin-Hood hash set bounded by
+    the offline logs; lazypoline keeps nothing (and checks nothing). *)
+
+open K23_kernel
+open K23_userland
+module Apps = K23_apps
+module Zp = K23_baselines.Zpoline
+module Lp = K23_baselines.Lazypoline
+module K23 = K23_core.K23
+
+type entry = {
+  system : string;
+  reserved_bytes : int;
+  resident_bytes : int;
+  note : string;
+}
+
+let run () =
+  let path = Apps.Coreutils.path "ls" in
+  let zp =
+    let w = Sim.create_world () in
+    Apps.Coreutils.register_all w;
+    match Zp.launch w ~variant:Zp.Ultra ~path () with
+    | Error e -> failwith (string_of_int e)
+    | Ok (p, _) ->
+      World.run_until_exit w p;
+      let reserved, resident = Zp.check_memory_bytes p in
+      { system = "zpoline-ultra"; reserved_bytes = reserved; resident_bytes = resident;
+        note = "bitmap over the whole address space" }
+  in
+  let lp =
+    let w = Sim.create_world () in
+    Apps.Coreutils.register_all w;
+    match Lp.launch w ~path () with
+    | Error e -> failwith (string_of_int e)
+    | Ok (p, _) ->
+      World.run_until_exit w p;
+      { system = "lazypoline"; reserved_bytes = 0; resident_bytes = 0;
+        note = "no state, but also no check (P4a unhandled)" }
+  in
+  let k23 =
+    let w = Sim.create_world () in
+    Apps.Coreutils.register_all w;
+    ignore (K23.offline_run w ~path ());
+    K23.seal_logs w;
+    match K23.launch w ~variant:K23.Ultra ~path () with
+    | Error e -> failwith (string_of_int e)
+    | Ok (p, _) ->
+      World.run_until_exit w p;
+      let b = K23.check_memory_bytes p in
+      { system = "K23-ultra"; reserved_bytes = b; resident_bytes = b;
+        note = "Robin-Hood hash set bounded by the offline logs" }
+  in
+  [ zp; lp; k23 ]
+
+let render entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%-14s %18s %16s  %s\n" "System" "reserved (B)" "resident (B)" "");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %18d %16d  %s\n" e.system e.reserved_bytes e.resident_bytes e.note))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,3 @@
+(** Thin alias so the eval library reads naturally. *)
+
+let enforcer () = K23_core.Ptracer.preload_enforcer ~lib_path:K23_core.Offline.lib_path ()

@@ -1,0 +1,1 @@
+lib/interpose/interpose.ml: Array Asm Bytes Hashtbl Insn K23_isa K23_kernel K23_machine Kern Lazy List Mapper Memory Option Printf Regs String Sysno

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Bytes Char Encode Insn List Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Bytes Char Insn Int64 Reg

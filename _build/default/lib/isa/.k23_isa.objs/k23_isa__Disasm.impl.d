@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Bytes Char Decode Insn List Printf String

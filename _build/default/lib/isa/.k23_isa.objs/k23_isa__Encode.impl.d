@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Buffer Bytes Char Insn Int64 List Printf Reg

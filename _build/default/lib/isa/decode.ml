@@ -1,0 +1,136 @@
+(** Instruction decoder.
+
+    [decode fetch pos] decodes one instruction whose first byte is at
+    [pos], reading bytes through the [fetch] callback (so the same
+    decoder serves the CPU — fetching through the I-cache — and the
+    static disassembler — reading raw memory).
+
+    Returns [Ok (insn, len)] or [Error `Invalid] when the byte stream
+    does not form a valid instruction.  Because the ISA is
+    variable-length, decoding at a misaligned position can succeed and
+    yield a *different* instruction than the one the compiler emitted —
+    the root cause of pitfalls P2a/P3a. *)
+
+type fetch = int -> int
+(** [fetch addr] returns the byte at [addr] (0..255).  May raise; the
+    caller converts exceptions into faults. *)
+
+type error = [ `Invalid ]
+
+let u32 (fetch : fetch) pos =
+  fetch pos lor (fetch (pos + 1) lsl 8) lor (fetch (pos + 2) lsl 16)
+  lor (fetch (pos + 3) lsl 24)
+
+let s32 fetch pos =
+  let v = u32 fetch pos in
+  if v land 0x8000_0000 <> 0 then v - (1 lsl 32) else v
+
+let s8 v = if v land 0x80 <> 0 then v - 256 else v
+
+let u64 (fetch : fetch) pos =
+  let rec go i acc =
+    if i = 8 then acc
+    else go (i + 1) (Int64.logor acc (Int64.shift_left (Int64.of_int (fetch (pos + i))) (8 * i)))
+  in
+  Int64.to_int (go 0 0L)
+
+let cond_of_cc = function
+  | 4 -> Some Insn.Z
+  | 5 -> Some Insn.NZ
+  | 0xc -> Some Insn.LT
+  | 0xd -> Some Insn.GE
+  | 0xe -> Some Insn.LE
+  | 0xf -> Some Insn.GT
+  | _ -> None
+
+(* ff-group second byte: call *reg / jmp *reg. [hi] adds 8 to the
+   register index (0x41 prefix). *)
+let decode_ff b2 ~hi ~extra_len =
+  let add = if hi then 8 else 0 in
+  if b2 >= 0xd0 && b2 <= 0xd7 then Ok (Insn.Call_reg (Reg.of_index (b2 - 0xd0 + add)), 2 + extra_len)
+  else if b2 >= 0xe0 && b2 <= 0xe7 then Ok (Insn.Jmp_reg (Reg.of_index (b2 - 0xe0 + add)), 2 + extra_len)
+  else Error `Invalid
+
+(* ModRM-based forms under a REX prefix. [reg_ext]/[rm_ext] are the
+   REX.R/REX.B extensions. *)
+let decode_rex fetch pos ~reg_ext ~rm_ext =
+  let op = fetch (pos + 1) in
+  let mrm = fetch (pos + 2) in
+  let md = mrm lsr 6 in
+  let reg = Reg.of_index (((mrm lsr 3) land 7) + reg_ext) in
+  let rm = Reg.of_index ((mrm land 7) + rm_ext) in
+  let ext = (mrm lsr 3) land 7 in
+  match op with
+  | b when b >= 0xb8 && b <= 0xbf ->
+    (* REX.W B8+r : mov r64, imm64.  reg_ext must be 0 (prefix 48/49). *)
+    if reg_ext <> 0 then Error `Invalid
+    else Ok (Insn.Mov_ri (Reg.of_index (b - 0xb8 + rm_ext), u64 fetch (pos + 2)), 10)
+  | 0x89 when md = 3 -> Ok (Insn.Mov_rr (rm, reg), 3)
+  | 0x89 when md = 2 -> Ok (Insn.Store (rm, s32 fetch (pos + 3), reg), 7)
+  | 0x01 when md = 3 -> Ok (Insn.Add_rr (rm, reg), 3)
+  | 0x29 when md = 3 -> Ok (Insn.Sub_rr (rm, reg), 3)
+  | 0x31 when md = 3 -> Ok (Insn.Xor_rr (rm, reg), 3)
+  | 0x85 when md = 3 -> Ok (Insn.Test_rr (rm, reg), 3)
+  | 0x39 when md = 3 -> Ok (Insn.Cmp_rr (rm, reg), 3)
+  | 0x83 when md = 3 -> (
+    let imm = s8 (fetch (pos + 3)) in
+    match ext with
+    | 0 -> Ok (Insn.Add_ri (rm, imm), 4)
+    | 5 -> Ok (Insn.Sub_ri (rm, imm), 4)
+    | 7 -> Ok (Insn.Cmp_ri (rm, imm), 4)
+    | _ -> Error `Invalid)
+  | 0x8b when md = 2 -> Ok (Insn.Load (reg, rm, s32 fetch (pos + 3)), 7)
+  | 0x8a when md = 2 -> Ok (Insn.Load8 (reg, rm, s32 fetch (pos + 3)), 7)
+  | 0x88 when md = 2 -> Ok (Insn.Store8 (rm, s32 fetch (pos + 3), reg), 7)
+  | 0x8d when md = 2 -> Ok (Insn.Lea (reg, rm, s32 fetch (pos + 3)), 7)
+  | _ -> Error `Invalid
+
+let decode (fetch : fetch) pos : (Insn.t * int, error) result =
+  let b0 = fetch pos in
+  match b0 with
+  | 0x90 -> Ok (Nop, 1)
+  | 0xc3 -> Ok (Ret, 1)
+  | 0xcc -> Ok (Int3, 1)
+  | 0xf4 -> Ok (Hlt, 1)
+  | 0x0f -> (
+    let b1 = fetch (pos + 1) in
+    match b1 with
+    | 0x05 -> Ok (Syscall, 2)
+    | 0x34 -> Ok (Sysenter, 2)
+    | 0x0b -> Ok (Ud2, 2)
+    | 0xa2 -> Ok (Cpuid, 2)
+    | 0xae -> if fetch (pos + 2) = 0xf0 then Ok (Mfence, 3) else Error `Invalid
+    | 0x01 -> (
+      match fetch (pos + 2) with
+      | 0xef -> Ok (Wrpkru, 3)
+      | 0xee -> Ok (Rdpkru, 3)
+      | _ -> Error `Invalid)
+    | 0x3f -> Ok (Vcall (u32 fetch (pos + 2)), 6)
+    | b when b >= 0x80 && b <= 0x8f -> (
+      match cond_of_cc (b - 0x80) with
+      | Some c -> Ok (Jcc (c, s32 fetch (pos + 2)), 6)
+      | None -> Error `Invalid)
+    | _ -> Error `Invalid)
+  | b when b >= 0x50 && b <= 0x57 -> Ok (Push (Reg.of_index (b - 0x50)), 1)
+  | b when b >= 0x58 && b <= 0x5f -> Ok (Pop (Reg.of_index (b - 0x58)), 1)
+  | b when b >= 0xb8 && b <= 0xbf -> Ok (Mov_ri32 (Reg.of_index (b - 0xb8), u32 fetch (pos + 1)), 5)
+  | 0xe9 -> Ok (Jmp_rel (s32 fetch (pos + 1)), 5)
+  | 0xe8 -> Ok (Call_rel (s32 fetch (pos + 1)), 5)
+  | 0xff -> decode_ff (fetch (pos + 1)) ~hi:false ~extra_len:0
+  | 0x41 -> (
+    let b1 = fetch (pos + 1) in
+    if b1 >= 0x50 && b1 <= 0x57 then Ok (Push (Reg.of_index (b1 - 0x50 + 8)), 2)
+    else if b1 >= 0x58 && b1 <= 0x5f then Ok (Pop (Reg.of_index (b1 - 0x58 + 8)), 2)
+    else if b1 = 0xff then decode_ff (fetch (pos + 2)) ~hi:true ~extra_len:1
+    else Error `Invalid)
+  | 0x48 -> decode_rex fetch pos ~reg_ext:0 ~rm_ext:0
+  | 0x49 -> decode_rex fetch pos ~reg_ext:0 ~rm_ext:8
+  | 0x4c -> decode_rex fetch pos ~reg_ext:8 ~rm_ext:0
+  | 0x4d -> decode_rex fetch pos ~reg_ext:8 ~rm_ext:8
+  | _ -> Error `Invalid
+
+(** [decode_bytes b pos] decodes from a byte buffer; out-of-range reads
+    are treated as invalid encodings. *)
+let decode_bytes (b : Bytes.t) pos =
+  let fetch i = if i < 0 || i >= Bytes.length b then raise Exit else Char.code (Bytes.get b i) in
+  try decode fetch pos with Exit -> Error `Invalid

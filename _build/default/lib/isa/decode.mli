@@ -1,0 +1,18 @@
+(** Instruction decoder.
+
+    Because the ISA is variable-length, decoding at a misaligned
+    position can succeed and yield a different instruction than the
+    one assembled — the root cause of pitfalls P2a/P3a/P3b. *)
+
+type fetch = int -> int
+(** [fetch addr] returns the byte at [addr]; exceptions propagate to
+    the caller (the CPU converts them into faults). *)
+
+type error = [ `Invalid ]
+
+val decode : fetch -> int -> (Insn.t * int, error) result
+(** Decode one instruction starting at the given address; returns the
+    instruction and its encoded length. *)
+
+val decode_bytes : Bytes.t -> int -> (Insn.t * int, error) result
+(** Convenience over a buffer; out-of-range reads are [`Invalid]. *)

@@ -1,0 +1,67 @@
+(** Static linear-sweep disassembler.
+
+    This is the disassembly strategy zpoline-style rewriters rely on
+    (the zpoline prototype uses a linear disassembler from GNU binutils).
+    Linear sweep decodes from the start of a code region and, like real
+    tools, has the two documented failure modes on variable-length ISAs
+    (Andriesse et al., USENIX Sec'16; Pang et al., S&P'21):
+
+    - {b misidentification} — embedded data, or the tail bytes of a
+      longer instruction reached after desynchronisation, may decode as
+      a spurious [syscall]/[sysenter] (pitfall P3a);
+    - {b overlook} — a genuine [syscall] can be swallowed inside a
+      misdecoded longer instruction and never reported (pitfall P2a).
+
+    On invalid bytes the sweep resynchronises by skipping one byte,
+    which is what objdump-style tools do. *)
+
+type item = {
+  addr : int;  (** absolute address of the first byte *)
+  insn : Insn.t option;  (** [None] when the byte did not decode *)
+  len : int;  (** bytes consumed (1 for undecodable bytes) *)
+}
+
+(** [sweep bytes ~base] decodes the whole buffer, resynchronising on
+    invalid encodings. [base] is the virtual address of [bytes.(0)]. *)
+let sweep (bytes : Bytes.t) ~base =
+  let n = Bytes.length bytes in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      match Decode.decode_bytes bytes pos with
+      | Ok (insn, len) when pos + len <= n ->
+        go (pos + len) ({ addr = base + pos; insn = Some insn; len } :: acc)
+      | Ok _ | Error `Invalid ->
+        go (pos + 1) ({ addr = base + pos; insn = None; len = 1 } :: acc)
+  in
+  go 0 []
+
+(** Addresses at which the sweep believes a [syscall] or [sysenter]
+    instruction starts.  This is the site list a zpoline-style rewriter
+    uses — complete with its false positives and false negatives. *)
+let find_syscall_sites bytes ~base =
+  sweep bytes ~base
+  |> List.filter_map (fun item ->
+         match item.insn with
+         | Some Insn.Syscall | Some Insn.Sysenter -> Some item.addr
+         | Some _ | None -> None)
+
+(** Ground truth used by tests: all offsets where the literal 2-byte
+    [0f 05]/[0f 34] pattern occurs, regardless of instruction
+    boundaries. *)
+let raw_pattern_sites bytes ~base =
+  let n = Bytes.length bytes in
+  let out = ref [] in
+  for i = 0 to n - 2 do
+    let b0 = Char.code (Bytes.get bytes i) and b1 = Char.code (Bytes.get bytes (i + 1)) in
+    if b0 = 0x0f && (b1 = 0x05 || b1 = 0x34) then out := (base + i) :: !out
+  done;
+  List.rev !out
+
+let listing bytes ~base =
+  sweep bytes ~base
+  |> List.map (fun { addr; insn; len = _ } ->
+         match insn with
+         | Some i -> Printf.sprintf "%08x: %s" addr (Insn.to_string i)
+         | None -> Printf.sprintf "%08x: (bad)" addr)
+  |> String.concat "\n"

@@ -1,0 +1,25 @@
+(** Static linear-sweep disassembler — the strategy zpoline-style
+    rewriters depend on, complete with its documented failure modes on
+    variable-length ISAs: misidentification of embedded data (P3a) and
+    overlooking of syscalls swallowed by desynchronisation (P2a).
+    Resynchronises byte-by-byte on invalid encodings, like
+    objdump-style tools. *)
+
+type item = {
+  addr : int;  (** absolute address of the first byte *)
+  insn : Insn.t option;  (** [None] when the byte did not decode *)
+  len : int;
+}
+
+val sweep : Bytes.t -> base:int -> item list
+
+val find_syscall_sites : Bytes.t -> base:int -> int list
+(** The site list a zpoline-style rewriter uses — including its false
+    positives and false negatives. *)
+
+val raw_pattern_sites : Bytes.t -> base:int -> int list
+(** Ground truth for tests: every occurrence of the literal 2-byte
+    [0f 05]/[0f 34] pattern, regardless of instruction boundaries. *)
+
+val listing : Bytes.t -> base:int -> string
+(** objdump-style text listing. *)

@@ -1,0 +1,183 @@
+(** Instruction encoder.
+
+    Encodings mirror real x86-64 where the instruction exists there
+    (REX.W prefixes, ModRM with mod=11 for register-register forms and
+    mod=10 + disp32 for memory forms, 0x50+r pushes, ...).  Two
+    simplifications are documented here once and for all:
+
+    - the RSP-in-rm SIB escape is not modelled: an rm field of 4 simply
+      means RSP as the base register;
+    - only the REX prefixes actually produced by this encoder
+      (0x48/0x49/0x4c/0x4d and the bare 0x41) are recognised by the
+      decoder.
+
+    Neither simplification affects the interposition-relevant byte
+    patterns ([0f 05], [0f 34], [ff d0]). *)
+
+exception Encode_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+
+let emit_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let emit_u32 buf v =
+  (* little-endian; accepts both signed rel32 in [-2^31, 2^31) and
+     unsigned imm32 in [0, 2^32). *)
+  if v < -0x8000_0000 || v > 0xffff_ffff then err "imm32 out of range: %d" v;
+  let v = v land 0xffff_ffff in
+  emit_u8 buf v;
+  emit_u8 buf (v lsr 8);
+  emit_u8 buf (v lsr 16);
+  emit_u8 buf (v lsr 24)
+
+let emit_u64 buf v =
+  let v64 = Int64.of_int v in
+  for i = 0 to 7 do
+    emit_u8 buf (Int64.to_int (Int64.shift_right_logical v64 (8 * i)) land 0xff)
+  done
+
+(* REX.W prefix with R (extends the ModRM reg field) and B (extends the
+   ModRM rm field) bits. *)
+let rex ~reg ~rm =
+  0x48 lor (if Reg.index reg >= 8 then 0x04 else 0) lor (if Reg.index rm >= 8 then 0x01 else 0)
+
+let modrm ~md ~reg ~rm = (md lsl 6) lor ((Reg.index reg land 7) lsl 3) lor (Reg.index rm land 7)
+
+let modrm_ext ~md ~ext ~rm = (md lsl 6) lor ((ext land 7) lsl 3) lor (Reg.index rm land 7)
+
+let check_imm8 v = if v < -128 || v > 127 then err "imm8 out of range: %d" v
+
+(* Register-register ALU form: REX op modrm(11, reg=src, rm=dst). *)
+let emit_rr buf op ~dst ~src =
+  emit_u8 buf (rex ~reg:src ~rm:dst);
+  emit_u8 buf op;
+  emit_u8 buf (modrm ~md:3 ~reg:src ~rm:dst)
+
+(* Memory form: REX op modrm(10, reg, rm=base) disp32. *)
+let emit_mem buf op ~reg ~base ~disp =
+  emit_u8 buf (rex ~reg ~rm:base);
+  emit_u8 buf op;
+  emit_u8 buf (modrm ~md:2 ~reg ~rm:base);
+  emit_u32 buf disp
+
+let emit buf (insn : Insn.t) =
+  match insn with
+  | Nop -> emit_u8 buf 0x90
+  | Ret -> emit_u8 buf 0xc3
+  | Int3 -> emit_u8 buf 0xcc
+  | Hlt -> emit_u8 buf 0xf4
+  | Syscall ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0x05
+  | Sysenter ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0x34
+  | Ud2 ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0x0b
+  | Cpuid ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0xa2
+  | Mfence ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0xae;
+    emit_u8 buf 0xf0
+  | Wrpkru ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0x01;
+    emit_u8 buf 0xef
+  | Rdpkru ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0x01;
+    emit_u8 buf 0xee
+  | Vcall n ->
+    emit_u8 buf 0x0f;
+    emit_u8 buf 0x3f;
+    emit_u32 buf n
+  | Push r ->
+    let i = Reg.index r in
+    if i >= 8 then emit_u8 buf 0x41;
+    emit_u8 buf (0x50 + (i land 7))
+  | Pop r ->
+    let i = Reg.index r in
+    if i >= 8 then emit_u8 buf 0x41;
+    emit_u8 buf (0x58 + (i land 7))
+  | Mov_ri (r, v) ->
+    let i = Reg.index r in
+    emit_u8 buf (if i >= 8 then 0x49 else 0x48);
+    emit_u8 buf (0xb8 + (i land 7));
+    emit_u64 buf v
+  | Mov_ri32 (r, v) ->
+    let i = Reg.index r in
+    if i >= 8 then err "Mov_ri32 supports RAX..RDI only";
+    if v < 0 || v > 0xffff_ffff then err "Mov_ri32 imm out of range";
+    emit_u8 buf (0xb8 + i);
+    emit_u32 buf v
+  | Mov_rr (dst, src) -> emit_rr buf 0x89 ~dst ~src
+  | Add_rr (dst, src) -> emit_rr buf 0x01 ~dst ~src
+  | Sub_rr (dst, src) -> emit_rr buf 0x29 ~dst ~src
+  | Xor_rr (dst, src) -> emit_rr buf 0x31 ~dst ~src
+  | Test_rr (a, b) -> emit_rr buf 0x85 ~dst:a ~src:b
+  | Cmp_rr (a, b) -> emit_rr buf 0x39 ~dst:a ~src:b
+  | Add_ri (r, v) ->
+    check_imm8 v;
+    emit_u8 buf (rex ~reg:RAX ~rm:r);
+    emit_u8 buf 0x83;
+    emit_u8 buf (modrm_ext ~md:3 ~ext:0 ~rm:r);
+    emit_u8 buf (v land 0xff)
+  | Sub_ri (r, v) ->
+    check_imm8 v;
+    emit_u8 buf (rex ~reg:RAX ~rm:r);
+    emit_u8 buf 0x83;
+    emit_u8 buf (modrm_ext ~md:3 ~ext:5 ~rm:r);
+    emit_u8 buf (v land 0xff)
+  | Cmp_ri (r, v) ->
+    check_imm8 v;
+    emit_u8 buf (rex ~reg:RAX ~rm:r);
+    emit_u8 buf 0x83;
+    emit_u8 buf (modrm_ext ~md:3 ~ext:7 ~rm:r);
+    emit_u8 buf (v land 0xff)
+  | Load (dst, base, disp) -> emit_mem buf 0x8b ~reg:dst ~base ~disp
+  | Store (base, disp, src) -> emit_mem buf 0x89 ~reg:src ~base ~disp
+  | Load8 (dst, base, disp) -> emit_mem buf 0x8a ~reg:dst ~base ~disp
+  | Store8 (base, disp, src) -> emit_mem buf 0x88 ~reg:src ~base ~disp
+  | Lea (dst, base, disp) -> emit_mem buf 0x8d ~reg:dst ~base ~disp
+  | Jmp_rel d ->
+    emit_u8 buf 0xe9;
+    emit_u32 buf d
+  | Call_rel d ->
+    emit_u8 buf 0xe8;
+    emit_u32 buf d
+  | Jcc (c, d) ->
+    let cc =
+      match c with Insn.Z -> 4 | NZ -> 5 | LT -> 0xc | GE -> 0xd | LE -> 0xe | GT -> 0xf
+    in
+    emit_u8 buf 0x0f;
+    emit_u8 buf (0x80 + cc);
+    emit_u32 buf d
+  | Jmp_reg r ->
+    let i = Reg.index r in
+    if i >= 8 then emit_u8 buf 0x41;
+    emit_u8 buf 0xff;
+    emit_u8 buf (0xe0 + (i land 7))
+  | Call_reg r ->
+    let i = Reg.index r in
+    if i >= 8 then emit_u8 buf 0x41;
+    emit_u8 buf 0xff;
+    emit_u8 buf (0xd0 + (i land 7))
+
+(** [to_bytes insn] is the encoding of a single instruction. *)
+let to_bytes insn =
+  let buf = Buffer.create 10 in
+  emit buf insn;
+  Buffer.to_bytes buf
+
+(** [length insn] is the encoded length in bytes. *)
+let length insn = Bytes.length (to_bytes insn)
+
+(** [assemble insns] concatenates encodings; no label resolution (that
+    lives in the userland assembler DSL, {!K23_userland.Asm}). *)
+let assemble insns =
+  let buf = Buffer.create 256 in
+  List.iter (emit buf) insns;
+  Buffer.to_bytes buf

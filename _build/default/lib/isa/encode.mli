@@ -1,0 +1,12 @@
+(** Instruction encoder (byte-exact x86-64 encodings for the
+    interposition-relevant instructions; see {!Insn}). *)
+
+exception Encode_error of string
+
+val emit : Buffer.t -> Insn.t -> unit
+val to_bytes : Insn.t -> Bytes.t
+val length : Insn.t -> int
+(** Encoded length in bytes (2 for syscall/sysenter/callq *rax). *)
+
+val assemble : Insn.t list -> Bytes.t
+(** Concatenated encodings, no label resolution (that is {!Asm}). *)

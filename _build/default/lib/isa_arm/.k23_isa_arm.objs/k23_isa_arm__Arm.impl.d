@@ -1,0 +1,1 @@
+lib/isa_arm/arm.ml: Buffer Bytes Char List

@@ -1,0 +1,107 @@
+(** A fixed-length (AArch64-flavoured) ISA study.
+
+    The paper's Discussion (Section 7) argues that porting K23-style
+    rewriting to fixed-instruction-length architectures such as ARM is
+    {e less challenging} than on x86-64.  This module makes that claim
+    executable: a 4-byte-instruction ISA with AArch64 encodings for the
+    instructions that matter, an exact disassembler, and an atomic
+    rewriter — together with the properties that distinguish it from
+    the x86-64 case:
+
+    - decoding positions are 4-byte aligned, so a syscall pattern
+      embedded {e inside} another instruction can never be executed or
+      misdecoded at an unaligned boundary (no P2a-style overlook, no
+      P3b partial-instruction gadgets);
+    - [svc #0] and a [bl] redirection have the {e same} size, so
+      rewriting is a single aligned 32-bit store — architecturally
+      atomic, eliminating the torn-write half of P5;
+    - embedded data words can still coincide with the [svc] encoding,
+      so P3a-style false positives are reduced but not gone — which is
+      why an offline validation phase remains useful even on ARM.
+
+    Encodings follow the ARMv8-A manual for the instructions used. *)
+
+type insn =
+  | Svc of int  (** supervisor call: 1101_0100_000 imm16 00001 *)
+  | Bl of int  (** branch-and-link, imm26 words: 100101 imm26 *)
+  | B of int  (** branch: 000101 imm26 *)
+  | Ret  (** 0xd65f03c0 *)
+  | Nop  (** 0xd503201f *)
+  | Movz of int * int  (** movz xD, #imm16: 1101_0010_100 imm16 rd *)
+  | Add_imm of int * int * int  (** add xD, xN, #imm12 *)
+  | Ldr_lit of int * int  (** ldr xD, [pc + imm19*4] *)
+
+let mask19 = (1 lsl 19) - 1
+let mask26 = (1 lsl 26) - 1
+
+let encode = function
+  | Svc imm -> 0xd4000001 lor ((imm land 0xffff) lsl 5)
+  | Bl off -> 0x94000000 lor (off land mask26)
+  | B off -> 0x14000000 lor (off land mask26)
+  | Ret -> 0xd65f03c0
+  | Nop -> 0xd503201f
+  | Movz (rd, imm) -> 0xd2800000 lor ((imm land 0xffff) lsl 5) lor (rd land 31)
+  | Add_imm (rd, rn, imm) -> 0x91000000 lor ((imm land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rd land 31)
+  | Ldr_lit (rd, off) -> 0x58000000 lor ((off land mask19) lsl 5) lor (rd land 31)
+
+let sign_extend width v = if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let decode word : insn option =
+  if word land 0xffe0001f = 0xd4000001 then Some (Svc ((word lsr 5) land 0xffff))
+  else if word land 0xfc000000 = 0x94000000 then Some (Bl (sign_extend 26 (word land mask26)))
+  else if word land 0xfc000000 = 0x14000000 then Some (B (sign_extend 26 (word land mask26)))
+  else if word = 0xd65f03c0 then Some Ret
+  else if word = 0xd503201f then Some Nop
+  else if word land 0xffe00000 = 0xd2800000 then
+    Some (Movz (word land 31, (word lsr 5) land 0xffff))
+  else if word land 0xff000000 = 0x91000000 then
+    Some (Add_imm (word land 31, (word lsr 5) land 31, (word lsr 10) land 0xfff))
+  else if word land 0xff000000 = 0x58000000 then
+    Some (Ldr_lit (word land 31, sign_extend 19 ((word lsr 5) land mask19)))
+  else None
+
+(* little-endian 32-bit words, as AArch64 stores instructions *)
+let word_of_bytes b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let bytes_of_word w =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (w land 0xff));
+  Bytes.set b 1 (Char.chr ((w lsr 8) land 0xff));
+  Bytes.set b 2 (Char.chr ((w lsr 16) land 0xff));
+  Bytes.set b 3 (Char.chr ((w lsr 24) land 0xff));
+  b
+
+let assemble insns =
+  let b = Buffer.create (4 * List.length insns) in
+  List.iter (fun i -> Buffer.add_bytes b (bytes_of_word (encode i))) insns;
+  Buffer.to_bytes b
+
+(** Exact disassembly: on a fixed-length ISA the sweep {e is} the
+    instruction stream — there is no resynchronisation problem. *)
+let sweep (code : Bytes.t) ~base =
+  let n = Bytes.length code / 4 in
+  List.init n (fun i -> (base + (4 * i), decode (word_of_bytes code (4 * i))))
+
+(** Syscall sites found by the sweep. *)
+let find_svc_sites code ~base =
+  sweep code ~base
+  |> List.filter_map (function addr, Some (Svc _) -> Some addr | _ -> None)
+
+(** Ground truth for tests: word-aligned positions whose 32-bit value
+    encodes [svc] — on this ISA identical to what the sweep reports
+    for code words; only embedded {e data} words can add to it. *)
+let raw_svc_pattern_sites code ~base =
+  let n = Bytes.length code / 4 in
+  List.init n (fun i -> (base + (4 * i), word_of_bytes code (4 * i)))
+  |> List.filter_map (fun (addr, w) ->
+         if w land 0xffe0001f = 0xd4000001 then Some addr else None)
+
+(** Rewrite an [svc] site to [bl target]: one aligned 32-bit store —
+    architecturally atomic on AArch64, so the torn-write component of
+    pitfall P5 cannot exist. *)
+let rewrite_svc_to_bl code ~site_off ~rel_words =
+  Bytes.blit (bytes_of_word (encode (Bl rel_words))) 0 code site_off 4

@@ -1,0 +1,42 @@
+(** Fixed-length (AArch64-flavoured) ISA study, quantifying the
+    Discussion-section claim that rewriting is fundamentally easier on
+    fixed-instruction-length architectures: aligned 4-byte decoding
+    cannot desynchronise (no P2a overlook, no P3b partial-instruction
+    gadgets) and [svc]→[bl] rewriting is one atomic aligned store (no
+    torn-write P5).  Data words aliasing [svc] keep a residual P3a
+    risk, so offline validation remains useful. *)
+
+type insn =
+  | Svc of int
+  | Bl of int  (** branch-and-link, offset in words *)
+  | B of int
+  | Ret
+  | Nop
+  | Movz of int * int
+  | Add_imm of int * int * int
+  | Ldr_lit of int * int
+
+val encode : insn -> int
+(** 32-bit instruction word (ARMv8-A encodings). *)
+
+val decode : int -> insn option
+
+val sign_extend : int -> int -> int
+
+val word_of_bytes : Bytes.t -> int -> int
+val bytes_of_word : int -> Bytes.t
+
+val assemble : insn list -> Bytes.t
+
+val sweep : Bytes.t -> base:int -> (int * insn option) list
+(** Exact disassembly: on a fixed-length ISA there is no
+    resynchronisation problem. *)
+
+val find_svc_sites : Bytes.t -> base:int -> int list
+
+val raw_svc_pattern_sites : Bytes.t -> base:int -> int list
+(** Word-aligned positions whose value encodes [svc] (ground truth for
+    aliasing tests). *)
+
+val rewrite_svc_to_bl : Bytes.t -> site_off:int -> rel_words:int -> unit
+(** One aligned 32-bit store: architecturally atomic. *)

@@ -1,0 +1,1 @@
+lib/kernel/bpf.ml: Array List Option

@@ -1,0 +1,1 @@
+lib/kernel/kern.ml: Array Bpf Buffer Cost Cpu Hashtbl Icache K23_isa K23_machine K23_util List Memory Net Option Printf Regs String Sysno Vfs

@@ -1,0 +1,1 @@
+lib/kernel/loader.ml: Array Asm Bytes Errno Filename Hashtbl K23_isa K23_machine K23_util Kern List Mapper Memory Option Regs String Sysno

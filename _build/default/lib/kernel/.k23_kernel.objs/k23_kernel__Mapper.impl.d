@@ -1,0 +1,1 @@
+lib/kernel/mapper.ml: Bytes Hashtbl K23_isa K23_machine Kern List Memory Option String

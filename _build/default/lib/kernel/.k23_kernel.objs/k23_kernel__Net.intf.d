@@ -1,0 +1,1 @@
+lib/kernel/net.mli: Bytes Hashtbl

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Array Buffer Bytes Errno Filename Hashtbl K23_machine Kern List Mapper Memory Net Option Printf Regs String Sysno Vfs

@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Bytes Errno Filename Hashtbl List Option String

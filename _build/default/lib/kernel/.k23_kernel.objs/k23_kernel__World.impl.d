@@ -1,0 +1,1 @@
+lib/kernel/world.ml: Kern List Loader Syscalls Vfs

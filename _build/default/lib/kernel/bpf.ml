@@ -1,0 +1,132 @@
+(** Classic-BPF filters for seccomp (the third Linux interposition
+    interface discussed in Sections 1 and 8).
+
+    Implements the cBPF subset the kernel accepts for
+    SECCOMP_SET_MODE_FILTER: loads from [struct seccomp_data],
+    conditional jumps, and returns.  A filter program decides, per
+    system call, among ALLOW / ERRNO / TRAP (SIGSYS) / KILL.
+
+    The expressiveness boundary the paper points out is visible in the
+    types: a filter sees the syscall number, the instruction pointer
+    and the six {e register} arguments — it can never dereference a
+    pointer argument, which is why seccomp alone cannot support deep
+    argument inspection. *)
+
+(* Offsets into struct seccomp_data, as on Linux x86-64. *)
+let data_nr = 0
+let data_arch = 4
+let data_ip = 8
+let data_arg n = 16 + (8 * n)
+
+type action =
+  | Allow
+  | Errno of int  (** fail the syscall with -errno, kernel not entered *)
+  | Trap  (** deliver SIGSYS to the process *)
+  | Kill  (** kill the process *)
+  | Log  (** allow, but count (SECCOMP_RET_LOG) *)
+
+(* Precedence, most restrictive first (kernel semantics when multiple
+   filters are installed). *)
+let action_rank = function Kill -> 0 | Trap -> 1 | Errno _ -> 2 | Log -> 3 | Allow -> 4
+
+type insn =
+  | Ld of int  (** A := seccomp_data[offset] (32/64-bit as stored) *)
+  | Jeq of int * int * int  (** if A = k then skip jt else skip jf *)
+  | Jgt of int * int * int
+  | Jge of int * int * int
+  | Jset of int * int * int  (** if A land k <> 0 *)
+  | And of int  (** A := A land k *)
+  | Ret of action
+
+type filter = insn array
+
+type data = { nr : int; arch : int; ip : int; args : int array }
+
+exception Bad_filter of string
+
+(** Evaluate one filter over one syscall.  The kernel validates
+    programs at install time; here malformed jumps surface as
+    [Bad_filter]. *)
+let eval (f : filter) (d : data) : action =
+  let load off =
+    if off = data_nr then d.nr
+    else if off = data_arch then d.arch
+    else if off = data_ip then d.ip
+    else
+      let rec find n = if n >= 6 then raise (Bad_filter "bad load offset")
+        else if off = data_arg n then d.args.(n)
+        else find (n + 1)
+      in
+      find 0
+  in
+  let acc = ref 0 in
+  let pc = ref 0 in
+  let result = ref None in
+  let steps = ref 0 in
+  while !result = None do
+    incr steps;
+    if !steps > 4096 then raise (Bad_filter "filter does not terminate");
+    if !pc < 0 || !pc >= Array.length f then raise (Bad_filter "fell off the program");
+    let jump jt jf cond = pc := !pc + 1 + (if cond then jt else jf) in
+    (match f.(!pc) with
+    | Ld off ->
+      acc := load off;
+      incr pc
+    | Jeq (k, jt, jf) -> jump jt jf (!acc = k)
+    | Jgt (k, jt, jf) -> jump jt jf (!acc > k)
+    | Jge (k, jt, jf) -> jump jt jf (!acc >= k)
+    | Jset (k, jt, jf) -> jump jt jf (!acc land k <> 0)
+    | And k ->
+      acc := !acc land k;
+      incr pc
+    | Ret a -> result := Some a)
+  done;
+  Option.get !result
+
+(** Evaluate a filter stack: every installed filter runs; the most
+    restrictive verdict wins (kernel semantics). *)
+let eval_all (filters : filter list) (d : data) : action =
+  List.fold_left
+    (fun best f ->
+      let a = eval f d in
+      if action_rank a < action_rank best then a else best)
+    Allow filters
+
+(* ------------------------------------------------------------------ *)
+(* Builders (the libseccomp-style convenience layer)                   *)
+
+(** [policy ~default rules]: per-syscall-number actions with a default.
+    Compiles to a linear match, like seccomp_export_bpf output. *)
+let policy ~default (rules : (int * action) list) : filter =
+  let body =
+    List.concat_map
+      (fun (nr, act) -> [ Jeq (nr, 0, 1) (* fall through to ret *); Ret act ])
+      rules
+  in
+  Array.of_list ((Ld data_nr :: body) @ [ Ret default ])
+
+(** Trap every syscall whose instruction pointer lies outside
+    [lo, hi) — the recipe a seccomp-based interposer uses so that its
+    own handler's re-issued syscalls are not re-trapped. *)
+let trap_outside_ip_range ~lo ~hi : filter =
+  [|
+    Ld data_ip;
+    Jge (lo, 0, 2) (* ip < lo -> Ret Trap *);
+    Jge (hi, 1, 0) (* ip >= hi -> Ret Trap, else Ret Allow *);
+    Ret Allow;
+    Ret Trap;
+  |]
+
+(** Deny a syscall unless a register argument matches: demonstrates
+    both what seccomp {e can} check (register values) and what it
+    cannot (memory behind pointers). *)
+let arg_equals ~nr ~arg ~value ~mismatch : filter =
+  [|
+    Ld data_nr;
+    Jeq (nr, 0, 4) (* other syscalls: allow *);
+    Ld (data_arg arg);
+    Jeq (value, 0, 1);
+    Ret Allow;
+    Ret mismatch;
+    Ret Allow;
+  |]

@@ -1,0 +1,54 @@
+(** Classic-BPF filters for seccomp.
+
+    Filters see the syscall number, the architecture, the instruction
+    pointer and the six {e register} arguments — never the memory
+    behind pointer arguments, which is the expressiveness limit the
+    paper attributes to seccomp (Section 1). *)
+
+val data_nr : int
+val data_arch : int
+val data_ip : int
+val data_arg : int -> int
+(** Offsets into struct seccomp_data. *)
+
+type action =
+  | Allow
+  | Errno of int  (** fail the call with -errno without entering the kernel *)
+  | Trap  (** deliver SIGSYS *)
+  | Kill
+  | Log
+
+val action_rank : action -> int
+(** Restrictiveness ordering (kernel semantics for filter stacks). *)
+
+type insn =
+  | Ld of int
+  | Jeq of int * int * int
+  | Jgt of int * int * int
+  | Jge of int * int * int
+  | Jset of int * int * int
+  | And of int
+  | Ret of action
+
+type filter = insn array
+
+type data = { nr : int; arch : int; ip : int; args : int array }
+
+exception Bad_filter of string
+
+val eval : filter -> data -> action
+val eval_all : filter list -> data -> action
+(** All installed filters run; the most restrictive verdict wins. *)
+
+(** {2 Builders} *)
+
+val policy : default:action -> (int * action) list -> filter
+(** Per-syscall-number actions with a default (libseccomp style). *)
+
+val trap_outside_ip_range : lo:int -> hi:int -> filter
+(** Trap every syscall whose instruction pointer is outside [lo, hi) —
+    how a seccomp interposer lets its own handler's re-issued calls
+    pass. *)
+
+val arg_equals : nr:int -> arg:int -> value:int -> mismatch:action -> filter
+(** Act on a register-argument value: the most seccomp can inspect. *)

@@ -1,0 +1,50 @@
+(** Errno values, returned from system calls as negative numbers in
+    rax, following the Linux x86-64 kernel ABI. *)
+
+let eperm = 1
+let enoent = 2
+let esrch = 3
+let eintr = 4
+let eio = 5
+let ebadf = 9
+let echild = 10
+let eagain = 11
+let enomem = 12
+let eacces = 13
+let efault = 14
+let eexist = 17
+let enotdir = 20
+let eisdir = 21
+let einval = 22
+let enfile = 23
+let enosys = 38
+let enotempty = 39
+let eaddrinuse = 98
+let econnrefused = 111
+
+(** Encode an error as a syscall return value. *)
+let ret e = -e
+
+let is_error v = v < 0
+
+let to_string e =
+  match abs e with
+  | 1 -> "EPERM"
+  | 2 -> "ENOENT"
+  | 3 -> "ESRCH"
+  | 4 -> "EINTR"
+  | 5 -> "EIO"
+  | 9 -> "EBADF"
+  | 10 -> "ECHILD"
+  | 11 -> "EAGAIN"
+  | 12 -> "ENOMEM"
+  | 13 -> "EACCES"
+  | 14 -> "EFAULT"
+  | 17 -> "EEXIST"
+  | 20 -> "ENOTDIR"
+  | 21 -> "EISDIR"
+  | 22 -> "EINVAL"
+  | 38 -> "ENOSYS"
+  | 98 -> "EADDRINUSE"
+  | 111 -> "ECONNREFUSED"
+  | n -> Printf.sprintf "E%d" n

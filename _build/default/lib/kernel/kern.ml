@@ -1,0 +1,782 @@
+(** Kernel core: processes, threads, scheduling, trap handling, SUD,
+    ptrace and signals.
+
+    This module holds the mutually-recursive heart of the simulated
+    OS.  System call {e semantics} live in {!Syscalls} and program
+    loading in {!Loader}; both are wired in through the [syscall_impl]
+    / [execve_impl] hooks so the dependency graph stays acyclic. *)
+
+open K23_machine
+module Rng = K23_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+(** Who owns a mapped region; used for ground-truth accounting (an
+    interposer's re-issued system calls must not be confused with the
+    application's own). *)
+type owner =
+  | App  (** the main executable *)
+  | Libc
+  | Ldso  (** the dynamic linker *)
+  | Vdso
+  | Lib of string  (** other shared library *)
+  | Interposer  (** an interposition library's own code *)
+  | Trampoline  (** the page-0 trampoline *)
+  | Anon
+  | Stack
+
+let owner_to_string = function
+  | App -> "app"
+  | Libc -> "libc"
+  | Ldso -> "ld.so"
+  | Vdso -> "vdso"
+  | Lib s -> s
+  | Interposer -> "interposer"
+  | Trampoline -> "trampoline"
+  | Anon -> "anon"
+  | Stack -> "stack"
+
+type region = {
+  r_start : int;
+  r_len : int;
+  mutable r_perm : Memory.perm;
+  r_name : string;  (** path-like name shown in /proc/PID/maps *)
+  r_owner : owner;
+  r_image : image option;
+  r_sec : [ `Text | `Data | `Other ];
+}
+
+and image = {
+  im_name : string;  (** full path, e.g. "/usr/lib/x86_64-linux-gnu/libc.so.6" *)
+  im_prog : K23_isa.Asm.program;
+  im_host_fns : (string * hostfn) list;
+  im_init : string option;  (** constructor symbol run by the loader *)
+  im_entry : string option;  (** entry symbol (executables) *)
+  im_needed : string list;  (** dependency library paths *)
+  im_owner : owner;
+}
+
+and hostfn = ctx -> unit
+(** A host (OCaml) function reachable from simulated code via the
+    [Vcall] instruction.  Host functions implement application logic
+    and interposer internals; they may manipulate registers, memory
+    and kernel state but can never enter the kernel's syscall path —
+    that always requires executing a real [syscall] instruction. *)
+
+and ctx = { world : world; thread : thread }
+
+and pstate = ..
+(** Extensible per-process state bag: interposers and the loader stash
+    their private state here (keyed by name in [proc.pstates]). *)
+
+and sud_state = {
+  mutable sel_addr : int;  (** userspace selector byte address *)
+  mutable allow_lo : int;
+  mutable allow_hi : int;  (** [allow_lo, allow_hi): always-allowed range *)
+}
+
+and sigframe = {
+  fr_regs : Regs.t;  (** saved context; handlers mutate it, sigreturn restores it *)
+  fr_signo : int;
+  fr_sysno : int;  (** SIGSYS: attempted syscall number *)
+  fr_site : int;  (** SIGSYS: address of the trapping syscall instruction *)
+  fr_args : int array;  (** SIGSYS: the attempted syscall's six arguments *)
+}
+
+and tstate =
+  | Runnable
+  | Blocked of { why : string; ready : unit -> bool }
+  | Dead
+
+and thread = {
+  tid : int;
+  t_proc : proc;
+  regs : Regs.t;
+  core : int;
+  mutable state : tstate;
+  mutable sud : sud_state option;
+  mutable frames : sigframe list;
+  mutable pending : (int * int array) option;  (** blocked syscall to retry *)
+}
+
+and fdesc =
+  | Fd_file of { file : Vfs.file; mutable pos : int; path : string }
+  | Fd_console of Buffer.t  (** process stdout/stderr capture *)
+  | Fd_listener of Net.listener
+  | Fd_conn of Net.conn * Net.endpoint
+  | Fd_pipe_r of Net.Byteq.t
+  | Fd_pipe_w of Net.Byteq.t
+  | Fd_devnull
+
+and counters = {
+  mutable c_app : int;  (** application syscalls (ground truth) *)
+  mutable c_interposer : int;  (** syscalls re-issued from interposer code *)
+  mutable c_startup : int;  (** app syscalls before the preload library initialised *)
+  mutable c_vdso : int;  (** vdso fast-path calls that bypassed the kernel *)
+  mutable c_sigsys : int;  (** SIGSYS deliveries *)
+  c_by_nr : (int, int) Hashtbl.t;
+}
+
+and tracer = {
+  tr_name : string;
+  mutable tr_trace_syscalls : bool;
+  mutable tr_on_entry : (ctx -> nr:int -> site:int -> args:int array -> [ `Continue | `Skip of int ]) option;
+  mutable tr_on_exit : (ctx -> nr:int -> ret:int -> unit) option;
+  mutable tr_on_exec : (ctx -> unit) option;
+  mutable tr_on_exit_proc : (proc -> unit) option;
+}
+(** A ptrace tracer, modelled as a host agent: callbacks run while the
+    tracee is stopped, which is semantically what a real tracer process
+    does.  The cycle cost of each stop round trip is charged to the
+    tracee's core. *)
+
+and proc = {
+  pid : int;
+  mutable parent : proc option;
+  mutable mem : Memory.t;
+  mutable regions : region list;
+  mutable threads : thread list;
+  mutable fds : (int, fdesc) Hashtbl.t;
+  mutable next_fd : int;
+  mutable env : (string * string) list;
+  mutable cwd : string;
+  mutable sig_handlers : (int, int) Hashtbl.t;  (** signo -> handler code address *)
+  mutable exit_status : int option;
+  mutable term_signal : int option;
+  mutable reaped : bool;
+  mutable tracer : tracer option;
+  mutable vdso_enabled : bool;
+  mutable globals : (string, int) Hashtbl.t;  (** dynamic symbol table *)
+  mutable brk_cur : int;
+  mutable mmap_cursor : int;
+  mutable next_pkey : int;
+  mutable cmd : string;
+  mutable argv : string list;
+  mutable pstates : (string, pstate) Hashtbl.t;
+  mutable image_bases : (string, int * int) Hashtbl.t;
+      (** image name -> (text base, data base) in this address space *)
+  mutable counters : counters;
+  mutable children : proc list;
+  mutable startup_done : bool;
+  mutable scratch_cursor : int;  (** bump allocator inside the scratch region *)
+  mutable aslr_slide : int;
+  mutable seccomp : Bpf.filter list;
+      (** installed seccomp filters, most recent first; inherited on
+          fork, preserved across execve (Linux semantics) *)
+  w : world;
+}
+
+and world = {
+  cost : Cost.model;
+  ncores : int;
+  icaches : Icache.t array;
+  core_cycles : int array;
+  core_resident : int array;  (** pid whose code each core's icache holds *)
+  mutable procs : proc list;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  mutable next_core : int;
+  vfs : Vfs.t;
+  net : Net.t;
+  libraries : (string, image) Hashtbl.t;  (** path -> image *)
+  mutable syscall_impl : (ctx -> nr:int -> args:int array -> int) option;
+  mutable execve_impl : (ctx -> path:string -> argv:string list -> envp:string list -> int) option;
+  rng : Rng.t;
+  quantum : int;
+  mutable steps : int;
+  mutable trace : bool;  (** print a line per syscall (debugging) *)
+  mutable aslr : bool;
+  mutable sud_ever_armed : bool;
+}
+
+exception Would_block of { why : string; ready : unit -> bool }
+(** Raised by syscall implementations that must wait; the scheduler
+    parks the thread and retries when [ready ()] turns true. *)
+
+exception Kernel_panic of string
+
+let panic fmt = Printf.ksprintf (fun s -> raise (Kernel_panic s)) fmt
+
+(* Signal numbers *)
+let sigill = 4
+let sigtrap = 5
+let sigkill = 9
+let sigsegv = 11
+let sigsys = 31
+
+(* ------------------------------------------------------------------ *)
+(* World construction                                                  *)
+
+let create_world ?(ncores = 12) ?(quantum = 64) ?(seed = 23) ?(aslr = true)
+    ?(cost = Cost.default) () =
+  let rng = Rng.create ~seed in
+  (* per-run machine-state skew (~±0.7% on the kernel path): repeated
+     runs with different seeds show realistic standard deviations *)
+  let cost = { cost with syscall_base = cost.syscall_base + Rng.int rng 3 - 1 } in
+  {
+    cost;
+    ncores;
+    icaches = Array.init ncores (fun _ -> Icache.create ());
+    core_cycles = Array.make ncores 0;
+    core_resident = Array.make ncores (-1);
+    procs = [];
+    next_pid = 1;
+    next_tid = 1;
+    next_core = 0;
+    vfs = Vfs.create ();
+    net = Net.create ();
+    libraries = Hashtbl.create 16;
+    syscall_impl = None;
+    execve_impl = None;
+    rng;
+    quantum;
+    steps = 0;
+    trace = false;
+    aslr;
+    sud_ever_armed = false;
+  }
+
+let register_library w (im : image) =
+  Hashtbl.replace w.libraries im.im_name im;
+  (* make the file visible in the VFS so openat() works on it *)
+  ignore (Vfs.write_file w.vfs im.im_name (Printf.sprintf "<image:%s>" im.im_name))
+
+let find_library w path = Hashtbl.find_opt w.libraries path
+
+let fresh_counters () =
+  {
+    c_app = 0;
+    c_interposer = 0;
+    c_startup = 0;
+    c_vdso = 0;
+    c_sigsys = 0;
+    c_by_nr = Hashtbl.create 32;
+  }
+
+let new_proc w ~parent ~cmd =
+  let pid = w.next_pid in
+  w.next_pid <- pid + 1;
+  let p =
+    {
+      pid;
+      parent;
+      mem = Memory.create ();
+      regions = [];
+      threads = [];
+      fds = Hashtbl.create 16;
+      next_fd = 3;
+      env = [];
+      cwd = "/";
+      sig_handlers = Hashtbl.create 8;
+      exit_status = None;
+      term_signal = None;
+      reaped = false;
+      tracer = None;
+      vdso_enabled = true;
+      globals = Hashtbl.create 64;
+      brk_cur = 0x0060_0000;
+      mmap_cursor = 0x7100_0000;
+      next_pkey = 1;
+      cmd;
+      argv = [];
+      pstates = Hashtbl.create 8;
+      image_bases = Hashtbl.create 8;
+      counters = fresh_counters ();
+      children = [];
+      startup_done = false;
+      scratch_cursor = 0;
+      aslr_slide = 0;
+      seccomp = [];
+      w;
+    }
+  in
+  (* fd 0/1/2: console *)
+  let console = Buffer.create 256 in
+  Hashtbl.replace p.fds 0 Fd_devnull;
+  Hashtbl.replace p.fds 1 (Fd_console console);
+  Hashtbl.replace p.fds 2 (Fd_console console);
+  w.procs <- w.procs @ [ p ];
+  (match parent with Some pp -> pp.children <- p :: pp.children | None -> ());
+  p
+
+let new_thread w (p : proc) =
+  let tid = w.next_tid in
+  w.next_tid <- tid + 1;
+  (* place the thread on the least-loaded core (live threads only):
+     deterministic and balanced, like a kernel scheduler at steady
+     state *)
+  let load = Array.make w.ncores 0 in
+  List.iter
+    (fun q ->
+      if q.exit_status = None && q.term_signal = None then
+        List.iter
+          (fun t -> if t.state <> Dead then load.(t.core) <- load.(t.core) + 1)
+          q.threads)
+    w.procs;
+  let core = ref 0 in
+  Array.iteri (fun i l -> if l < load.(!core) then core := i) load;
+  let core = !core in
+  w.next_core <- (core + 1) mod w.ncores;
+  let th =
+    {
+      tid;
+      t_proc = p;
+      regs = Regs.create ();
+      core;
+      state = Runnable;
+      sud = None;
+      frames = [];
+      pending = None;
+    }
+  in
+  p.threads <- p.threads @ [ th ];
+  th
+
+let console_output p =
+  match Hashtbl.find_opt p.fds 1 with
+  | Some (Fd_console b) -> Buffer.contents b
+  | _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Regions                                                             *)
+
+let add_region (p : proc) r = p.regions <- r :: p.regions
+
+let remove_region (p : proc) ~start =
+  p.regions <- List.filter (fun r -> r.r_start <> start) p.regions
+
+let find_region (p : proc) addr =
+  List.find_opt (fun r -> addr >= r.r_start && addr < r.r_start + r.r_len) p.regions
+
+let region_owner p addr =
+  match find_region p addr with Some r -> r.r_owner | None -> Anon
+
+(** /proc/PID/maps content, parsed by K23's libLogger. *)
+let maps_string (p : proc) =
+  p.regions
+  |> List.sort (fun a b -> compare a.r_start b.r_start)
+  |> List.map (fun r ->
+         Printf.sprintf "%012x-%012x %sp %08x 00:00 0 %s" r.r_start (r.r_start + r.r_len)
+           (Memory.perm_to_string r.r_perm) 0 r.r_name)
+  |> String.concat "\n"
+
+(** Bump-allocate kernel scratch space in a process (used to inject
+    strings, e.g. when ptracer rewrites LD_PRELOAD in the tracee). *)
+let scratch_base = 0x7ffd_0000
+let scratch_size = 0x10000
+
+let ensure_scratch (p : proc) =
+  if not (Memory.is_mapped p.mem scratch_base) then begin
+    Memory.map p.mem ~addr:scratch_base ~len:scratch_size ~perm:Memory.perm_rw;
+    add_region p
+      {
+        r_start = scratch_base;
+        r_len = scratch_size;
+        r_perm = Memory.perm_rw;
+        r_name = "[scratch]";
+        r_owner = Anon;
+        r_image = None;
+        r_sec = `Other;
+      }
+  end
+
+let scratch_alloc (p : proc) len =
+  ensure_scratch p;
+  let addr = scratch_base + p.scratch_cursor in
+  p.scratch_cursor <- p.scratch_cursor + ((len + 15) land lnot 15);
+  if p.scratch_cursor > scratch_size then panic "scratch exhausted in pid %d" p.pid;
+  addr
+
+let scratch_write_cstr (p : proc) s =
+  let addr = scratch_alloc p (String.length s + 1) in
+  Memory.write_cstr p.mem addr s;
+  addr
+
+(* ------------------------------------------------------------------ *)
+(* Cycle accounting                                                    *)
+
+let charge (w : world) (th : thread) cycles = w.core_cycles.(th.core) <- w.core_cycles.(th.core) + cycles
+
+(** Cache-coherent code write: invalidate the written lines in every
+    core's I-cache.  x86 caches are coherent, so a store to code
+    becomes fetchable by other cores immediately — which is exactly
+    why a {e non-atomic} two-byte rewrite exposes a torn instruction
+    to concurrently executing threads (pitfall P5).  What coherence
+    does NOT give you is atomicity of multi-byte cross-modifying
+    writes; that requires stopping the other cores or an
+    instruction-stream serialisation protocol, which lazypoline
+    lacks. *)
+let code_write_barrier (w : world) ~addr ~len =
+  Array.iter (fun ic -> Icache.invalidate_range ic ~addr ~len) w.icaches
+
+let now (w : world) = Array.fold_left max 0 w.core_cycles
+
+(** Bring every core to the current wall-clock maximum.  Measurements
+    call this at phase boundaries: wall time elapses on idle cores
+    too, and per-phase deltas must not be polluted by how far ahead a
+    previous phase pushed some other core. *)
+let sync_cores (w : world) =
+  let t = now w in
+  Array.iteri (fun i _ -> w.core_cycles.(i) <- t) w.core_cycles
+
+(** Simulated clock: 3.2 GHz, matching the paper's Xeon w5-3425. *)
+let cycles_per_sec = 3_200_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Process exit / signals                                              *)
+
+(** On process death the kernel releases its descriptors: connections
+    get a FIN (peers' reads return 0) and listeners disappear — but
+    fork duplicates descriptors, so a resource is only released when
+    the last live process holding it dies (refcount semantics). *)
+let cleanup_fds (p : proc) =
+  let held_elsewhere probe =
+    List.exists
+      (fun q ->
+        q != p && q.exit_status = None && q.term_signal = None
+        && Hashtbl.fold (fun _ fd acc -> acc || probe fd) q.fds false)
+      p.w.procs
+  in
+  Hashtbl.iter
+    (fun _ fd ->
+      match fd with
+      | Fd_conn (c, ep) ->
+        if not (held_elsewhere (function Fd_conn (c', ep') -> c' == c && ep' = ep | _ -> false))
+        then Net.close c ep
+      | Fd_listener l ->
+        if not (held_elsewhere (function Fd_listener l' -> l' == l | _ -> false)) then
+          Net.unlisten p.w.net l.port
+      | Fd_file _ | Fd_console _ | Fd_pipe_r _ | Fd_pipe_w _ | Fd_devnull -> ())
+    p.fds
+
+let kill_proc (p : proc) ~signal =
+  if p.exit_status = None && p.term_signal = None then begin
+    p.term_signal <- Some signal;
+    List.iter (fun th -> th.state <- Dead) p.threads;
+    cleanup_fds p;
+    (match p.tracer with
+    | Some tr -> ( match tr.tr_on_exit_proc with Some f -> f p | None -> ())
+    | None -> ())
+  end
+
+let exit_proc (p : proc) ~status =
+  if p.exit_status = None && p.term_signal = None then begin
+    p.exit_status <- Some status;
+    List.iter (fun th -> th.state <- Dead) p.threads;
+    cleanup_fds p;
+    (match p.tracer with
+    | Some tr -> ( match tr.tr_on_exit_proc with Some f -> f p | None -> ())
+    | None -> ())
+  end
+
+let proc_dead (p : proc) = p.exit_status <> None || p.term_signal <> None
+
+(** Deliver a signal to [th].  With no registered handler the process
+    dies (all the signals we model are fatal by default). *)
+let deliver_signal (w : world) (th : thread) ~signo ~sysno ~site ~args =
+  let p = th.t_proc in
+  match Hashtbl.find_opt p.sig_handlers signo with
+  | None -> kill_proc p ~signal:signo
+  | Some handler_addr ->
+    (* Signal delivery serialises against the rest of the thread group
+       (sighand lock, task-list walks): in multi-threaded processes the
+       per-delivery cost grows with the number of live threads.  This
+       is what collapses SUD's throughput on redis with 6 I/O threads
+       (Table 6) even below its single-threaded figure. *)
+    let live = List.length (List.filter (fun t -> t.state <> Dead) p.threads) in
+    charge w th (w.cost.sigsys_delivery * max 1 ((3 * live) - 2));
+    let frame = { fr_regs = Regs.copy th.regs; fr_signo = signo; fr_sysno = sysno; fr_site = site; fr_args = args } in
+    th.frames <- frame :: th.frames;
+    (* Enter the handler: mimic the kernel building a signal frame on
+       an offset stack; rdi/rsi/rdx carry (signo, site, sysno) — the
+       moral equivalent of siginfo + ucontext, which handlers access
+       through kernel helpers in this model. *)
+    Regs.set th.regs RSP (Regs.get th.regs RSP - 512);
+    Regs.set th.regs RDI signo;
+    Regs.set th.regs RSI site;
+    Regs.set th.regs RDX sysno;
+    th.regs.rip <- handler_addr
+
+(** rt_sigreturn: restore the (possibly handler-mutated) saved
+    context. *)
+let do_sigreturn (w : world) (th : thread) =
+  match th.frames with
+  | [] -> kill_proc th.t_proc ~signal:sigsegv
+  | frame :: rest ->
+    charge w th w.cost.sigreturn_extra;
+    th.frames <- rest;
+    Regs.restore th.regs ~from:frame.fr_regs
+
+(* ------------------------------------------------------------------ *)
+(* Syscall entry                                                       *)
+
+let note_syscall (w : world) (th : thread) ~nr ~site =
+  let p = th.t_proc in
+  let c = p.counters in
+  let owner = region_owner p site in
+  (match owner with
+  | Interposer ->
+    (* a re-issue from an interposer's SIGSYS gadget: the application's
+       original attempt was already counted when SUD diverted it *)
+    c.c_interposer <- c.c_interposer + 1
+  | Trampoline | App | Libc | Ldso | Vdso | Lib _ | Anon | Stack ->
+    (* trampoline-gadget syscalls ARE application syscalls: after a
+       site is rewritten, its calls reach the kernel only through the
+       trampoline, exactly one kernel entry per application attempt *)
+    c.c_app <- c.c_app + 1;
+    if not p.startup_done then c.c_startup <- c.c_startup + 1;
+    Hashtbl.replace c.c_by_nr nr (1 + Option.value ~default:0 (Hashtbl.find_opt c.c_by_nr nr)));
+  if w.trace then
+    Printf.eprintf "[pid %d tid %d] %s(...) @%x (%s)\n%!" p.pid th.tid (Sysno.name nr) site
+      (owner_to_string owner)
+
+(** Per-thread selector slot.  Real interposers keep the SUD selector
+    byte in TLS so each thread toggles its own; we model TLS with a
+    64-slot array indexed by tid (documented limit: tids aliasing
+    mod 64 would share a slot). *)
+let selector_slot (th : thread) base = base + (th.tid land 63)
+
+let sud_blocks (th : thread) ~site =
+  match th.sud with
+  | None -> false
+  | Some s ->
+    if site >= s.allow_lo && site < s.allow_hi then false
+    else begin
+      match Memory.read_u8_raw th.t_proc.mem (selector_slot th s.sel_addr) with
+      | sel -> sel = Sysno.syscall_dispatch_filter_block
+      | exception Memory.Fault _ -> false
+    end
+
+(** Install a seccomp filter (SECCOMP_SET_MODE_FILTER).  Filters are
+    irrevocable: there is no uninstall, exactly as on Linux. *)
+let seccomp_install (p : proc) (f : Bpf.filter) = p.seccomp <- f :: p.seccomp
+
+let syscall_args (th : thread) =
+  [|
+    Regs.get th.regs RDI;
+    Regs.get th.regs RSI;
+    Regs.get th.regs RDX;
+    Regs.get th.regs R10;
+    Regs.get th.regs R8;
+    Regs.get th.regs R9;
+  |]
+
+let exec_syscall (w : world) (th : thread) ~nr ~args =
+  match w.syscall_impl with
+  | None -> panic "no syscall implementation installed"
+  | Some f -> f { world = w; thread = th } ~nr ~args
+
+(** Complete a syscall: run the implementation (handling blocking),
+    store the result, fire the ptrace exit stop. *)
+let finish_syscall (w : world) (th : thread) ~nr ~args =
+  match exec_syscall w th ~nr ~args with
+  | ret ->
+    (* implementations that rewrite the register file (rt_sigreturn,
+       execve) return the post-rewrite rax, making this a no-op *)
+    Regs.set th.regs RAX ret;
+    (match th.t_proc.tracer with
+    | Some tr when tr.tr_trace_syscalls && not (proc_dead th.t_proc) ->
+      charge w th w.cost.ptrace_stop;
+      (match tr.tr_on_exit with
+      | Some f -> f { world = w; thread = th } ~nr ~ret
+      | None -> ())
+    | _ -> ());
+    true
+  | exception Would_block { why; ready } ->
+    th.state <- Blocked { why; ready };
+    th.pending <- Some (nr, args);
+    false
+
+(** Kernel entry for a trapping [syscall]/[sysenter] instruction. *)
+let handle_syscall (w : world) (th : thread) ~site =
+  let p = th.t_proc in
+  let nr = Regs.get th.regs RAX in
+  let args = syscall_args th in
+  (* SUD: divert to SIGSYS when armed, outside the allowlisted range
+     and with the selector set to BLOCK. *)
+  if sud_blocks th ~site then begin
+    note_syscall w th ~nr ~site;
+    charge w th w.cost.syscall_base;
+    p.counters.c_sigsys <- p.counters.c_sigsys + 1;
+    if Hashtbl.mem p.sig_handlers sigsys then deliver_signal w th ~signo:sigsys ~sysno:nr ~site ~args
+    else kill_proc p ~signal:sigsys
+  end
+  else begin
+    note_syscall w th ~nr ~site;
+    (* Once SUD is initialised every kernel entry of that thread takes
+       the slow path, even with interposition toggled off — the
+       "SUD-no-interposition" overhead of Table 5. *)
+    if th.sud <> None then charge w th w.cost.sud_armed_extra;
+    (* base cost plus ~1% deterministic jitter, so repeated runs show
+       realistic (non-zero) standard deviations *)
+    charge w th (w.cost.syscall_base + Rng.int w.rng 3);
+    (* seccomp filters run before ptrace and before execution *)
+    let seccomp_verdict =
+      match p.seccomp with
+      | [] -> Bpf.Allow
+      | filters ->
+        charge w th (25 * List.length filters);
+        Bpf.eval_all filters { Bpf.nr; arch = 0xc000003e; ip = site; args = Array.copy args }
+    in
+    match seccomp_verdict with
+    | Bpf.Kill -> kill_proc p ~signal:sigsys
+    | Bpf.Errno e -> Regs.set th.regs RAX (-e)
+    | Bpf.Trap ->
+      p.counters.c_sigsys <- p.counters.c_sigsys + 1;
+      if Hashtbl.mem p.sig_handlers sigsys then
+        deliver_signal w th ~signo:sigsys ~sysno:nr ~site ~args
+      else kill_proc p ~signal:sigsys
+    | Bpf.Allow | Bpf.Log -> (
+    match p.tracer with
+    | Some tr when tr.tr_trace_syscalls ->
+      charge w th w.cost.ptrace_stop;
+      let action =
+        match tr.tr_on_entry with
+        | Some f -> f { world = w; thread = th } ~nr ~site ~args
+        | None -> `Continue
+      in
+      (match action with
+      | `Skip ret ->
+        Regs.set th.regs RAX ret;
+        charge w th w.cost.ptrace_stop;
+        (match tr.tr_on_exit with
+        | Some f -> f { world = w; thread = th } ~nr ~ret
+        | None -> ())
+      | `Continue ->
+        (* args may have been rewritten by the tracer *)
+        let args = syscall_args th in
+        ignore (finish_syscall w th ~nr ~args))
+    | _ -> ignore (finish_syscall w th ~nr ~args))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Vcall resolution                                                    *)
+
+let resolve_vcall (p : proc) ~rip_after ~index =
+  (* the Vcall instruction is 6 bytes; its first byte locates the
+     owning region *)
+  match find_region p (rip_after - 6) with
+  | None -> None
+  | Some r -> (
+    match r.r_image with
+    | None -> None
+    | Some im -> (
+      match List.nth_opt im.im_prog.vcalls index with
+      | None -> None
+      | Some name -> (
+        match List.assoc_opt name im.im_host_fns with
+        | None -> None
+        | Some f -> Some (name, f))))
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                            *)
+
+let switch_address_space (w : world) (th : thread) =
+  if w.core_resident.(th.core) <> th.t_proc.pid then begin
+    Icache.flush w.icaches.(th.core);
+    w.core_resident.(th.core) <- th.t_proc.pid
+  end
+
+let step_thread (w : world) (th : thread) =
+  switch_address_space w th;
+  w.steps <- w.steps + 1;
+  match Cpu.step ~cost:w.cost th.regs th.t_proc.mem w.icaches.(th.core) with
+  | Cpu.Stepped c -> charge w th c
+  | Cpu.Trapped (trap, c) -> (
+    charge w th c;
+    match trap with
+    | Cpu.Syscall_trap { site; kind = _ } -> handle_syscall w th ~site
+    | Cpu.Vcall_trap idx -> (
+      match resolve_vcall th.t_proc ~rip_after:th.regs.rip ~index:idx with
+      | Some (_name, f) -> f { world = w; thread = th }
+      | None -> panic "pid %d: unresolvable vcall %d at %x" th.t_proc.pid idx (th.regs.rip - 6))
+    | Cpu.Fault_trap f ->
+      if w.trace then
+        Printf.eprintf "[pid %d] fault %s @%x rip=%x\n%!" th.t_proc.pid
+          (match f.access with `Read -> "R" | `Write -> "W" | `Exec -> "X")
+          f.fault_addr th.regs.rip;
+      deliver_signal w th ~signo:sigsegv ~sysno:0 ~site:th.regs.rip ~args:[||]
+    | Cpu.Ud_trap addr ->
+      if w.trace then Printf.eprintf "[pid %d] SIGILL at %x\n%!" th.t_proc.pid addr;
+      deliver_signal w th ~signo:sigill ~sysno:0 ~site:addr ~args:[||]
+    | Cpu.Int3_trap addr -> deliver_signal w th ~signo:sigtrap ~sysno:0 ~site:addr ~args:[||]
+    | Cpu.Hlt_trap addr -> panic "pid %d: hlt at %x" th.t_proc.pid addr)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+
+let runnable_threads (w : world) =
+  List.concat_map
+    (fun p -> if proc_dead p then [] else List.filter (fun t -> t.state = Runnable) p.threads)
+    w.procs
+
+let blocked_threads (w : world) =
+  List.concat_map
+    (fun p ->
+      if proc_dead p then []
+      else List.filter (fun t -> match t.state with Blocked _ -> true | _ -> false) p.threads)
+    w.procs
+
+let wake_ready (w : world) =
+  List.iter
+    (fun th ->
+      match th.state with
+      | Blocked { ready; _ } when ready () -> th.state <- Runnable
+      | _ -> ())
+    (blocked_threads w)
+
+(** Run one quantum of a thread; completes a pending blocked syscall
+    first if there is one. *)
+let run_slice (w : world) (th : thread) =
+  (match th.pending with
+  | Some (nr, args) when th.state = Runnable ->
+    th.pending <- None;
+    if not (finish_syscall w th ~nr ~args) then () (* re-blocked *)
+  | _ -> ());
+  let budget = ref w.quantum in
+  while !budget > 0 && th.state = Runnable && not (proc_dead th.t_proc) do
+    step_thread w th;
+    decr budget
+  done
+
+exception Deadlock of string
+
+(** Cooperative round-robin run loop.  Returns when every process has
+    terminated, [max_steps] is exhausted, or [until] turns true. *)
+let run ?(max_steps = 200_000_000) ?(until = fun () -> false) (w : world) =
+  let start_steps = w.steps in
+  let continue_ = ref true in
+  while !continue_ do
+    wake_ready w;
+    let run_now = runnable_threads w in
+    if run_now = [] then begin
+      let blocked = blocked_threads w in
+      if blocked = [] then continue_ := false
+      else begin
+        (* everything is waiting: advance virtual time so time-based
+           waits can fire; if nothing wakes, the world is deadlocked *)
+        let t = now w + 10_000 in
+        Array.iteri (fun i _ -> w.core_cycles.(i) <- max w.core_cycles.(i) t) w.core_cycles;
+        wake_ready w;
+        if runnable_threads w = [] then
+          raise
+            (Deadlock
+               (String.concat ", "
+                  (List.map
+                     (fun th ->
+                       match th.state with
+                       | Blocked { why; _ } -> Printf.sprintf "tid %d: %s" th.tid why
+                       | _ -> "?")
+                     blocked)))
+      end
+    end
+    else
+      List.iter
+        (fun th ->
+          if !continue_ && th.state = Runnable then begin
+            run_slice w th;
+            if until () || w.steps - start_steps > max_steps then continue_ := false
+          end)
+        run_now
+  done

@@ -1,0 +1,106 @@
+(** Loopback-only network model.
+
+    The paper runs benchmark clients and servers on the same physical
+    machine over localhost (Section 6.2.2); we model exactly that: TCP
+    listeners keyed by port, connections as a pair of byte queues.
+    Blocking behaviour (accept on an empty backlog, read on an empty
+    queue) is implemented by the kernel scheduler, not here. *)
+
+(** One direction of a connection: an unbounded FIFO of bytes. *)
+module Byteq = struct
+  type t = { mutable chunks : Bytes.t list; mutable head_off : int; mutable size : int }
+
+  let create () = { chunks = []; head_off = 0; size = 0 }
+
+  let length q = q.size
+
+  let push q b =
+    if Bytes.length b > 0 then begin
+      q.chunks <- q.chunks @ [ b ];
+      q.size <- q.size + Bytes.length b
+    end
+
+  (** Pop up to [max] bytes. *)
+  let pop q max =
+    let out = Buffer.create (min max q.size) in
+    let rec go () =
+      if Buffer.length out >= max then ()
+      else
+        match q.chunks with
+        | [] -> ()
+        | c :: rest ->
+          let avail = Bytes.length c - q.head_off in
+          let want = min avail (max - Buffer.length out) in
+          Buffer.add_subbytes out c q.head_off want;
+          if want = avail then begin
+            q.chunks <- rest;
+            q.head_off <- 0
+          end
+          else q.head_off <- q.head_off + want;
+          if want > 0 then go ()
+    in
+    go ();
+    let b = Buffer.to_bytes out in
+    q.size <- q.size - Bytes.length b;
+    b
+end
+
+type conn = {
+  conn_id : int;
+  a_to_b : Byteq.t;
+  b_to_a : Byteq.t;
+  mutable closed_a : bool;
+  mutable closed_b : bool;
+}
+
+type endpoint = A | B
+
+type listener = { port : int; mutable backlog : conn list }
+
+type t = { listeners : (int, listener) Hashtbl.t; mutable next_conn : int }
+
+let create () = { listeners = Hashtbl.create 8; next_conn = 1 }
+
+let listen t port =
+  if Hashtbl.mem t.listeners port then Error `Addrinuse
+  else begin
+    let l = { port; backlog = [] } in
+    Hashtbl.replace t.listeners port l;
+    Ok l
+  end
+
+(** Client side: create a connection and queue it on the listener's
+    backlog.  Endpoint [A] is the client, [B] the server. *)
+let connect t port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> Error `Refused
+  | Some l ->
+    let c =
+      {
+        conn_id = t.next_conn;
+        a_to_b = Byteq.create ();
+        b_to_a = Byteq.create ();
+        closed_a = false;
+        closed_b = false;
+      }
+    in
+    t.next_conn <- t.next_conn + 1;
+    l.backlog <- l.backlog @ [ c ];
+    Ok c
+
+(** Server side: take the next pending connection, if any. *)
+let accept l =
+  match l.backlog with
+  | [] -> None
+  | c :: rest ->
+    l.backlog <- rest;
+    Some c
+
+let send_q c = function A -> c.a_to_b | B -> c.b_to_a
+let recv_q c = function A -> c.b_to_a | B -> c.a_to_b
+
+let peer_closed c = function A -> c.closed_b | B -> c.closed_a
+
+let close c = function A -> c.closed_a <- true | B -> c.closed_b <- true
+
+let unlisten t port = Hashtbl.remove t.listeners port

@@ -1,0 +1,40 @@
+(** Loopback-only network: TCP-ish listeners keyed by port and
+    connections as paired byte queues — the paper's benchmarking setup
+    (clients and servers on one machine, Section 6.2.2).  Blocking is
+    the scheduler's job, not this module's. *)
+
+module Byteq : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val push : t -> Bytes.t -> unit
+
+  val pop : t -> int -> Bytes.t
+  (** Pop up to [max] bytes (may span pushed chunks). *)
+end
+
+type conn = {
+  conn_id : int;
+  a_to_b : Byteq.t;
+  b_to_a : Byteq.t;
+  mutable closed_a : bool;
+  mutable closed_b : bool;
+}
+
+type endpoint = A | B
+(** [A] is the connecting (client) side, [B] the accepting side. *)
+
+type listener = { port : int; mutable backlog : conn list }
+
+type t = { listeners : (int, listener) Hashtbl.t; mutable next_conn : int }
+
+val create : unit -> t
+val listen : t -> int -> (listener, [ `Addrinuse ]) result
+val connect : t -> int -> (conn, [ `Refused ]) result
+val accept : listener -> conn option
+val send_q : conn -> endpoint -> Byteq.t
+val recv_q : conn -> endpoint -> Byteq.t
+val peer_closed : conn -> endpoint -> bool
+val close : conn -> endpoint -> unit
+val unlisten : t -> int -> unit

@@ -1,0 +1,151 @@
+(** System call numbers.  Values follow the Linux x86-64 syscall table
+    so that logs, traces and PoCs read like the real thing. *)
+
+let read = 0
+let write = 1
+let open_ = 2
+let close = 3
+let stat = 4
+let fstat = 5
+let lseek = 8
+let mmap = 9
+let mprotect = 10
+let munmap = 11
+let brk = 12
+let rt_sigaction = 13
+let rt_sigprocmask = 14
+let rt_sigreturn = 15
+let ioctl = 16
+let pipe = 22
+let access = 21
+let sched_yield = 24
+let dup = 32
+let nanosleep = 35
+let getpid = 39
+let socket = 41
+let connect = 42
+let accept = 43
+let sendto = 44
+let recvfrom = 45
+let shutdown = 48
+let bind = 49
+let listen = 50
+let clone = 56
+let fork = 57
+let execve = 59
+let exit = 60
+let wait4 = 61
+let kill = 62
+let fcntl = 72
+let fsync = 74
+let ftruncate = 77
+let getcwd = 79
+let chdir = 80
+let rename = 82
+let mkdir = 83
+let unlink = 87
+let chmod = 90
+let gettimeofday = 96
+let ptrace = 101
+let prctl = 157
+let arch_prctl = 158
+let gettid = 186
+let futex = 202
+let getdents64 = 217
+let clock_gettime = 228
+let exit_group = 231
+let openat = 257
+let process_vm_readv = 310
+let process_vm_writev = 311
+let pkey_mprotect = 329
+let pkey_alloc = 330
+let pkey_free = 331
+let seccomp = 317
+
+(** The non-existent syscall number used by the paper's microbenchmark
+    ("we created a system call stress test using a non-existent system
+    call (system call number 500)"). *)
+let bench_nonexistent = 500
+
+(** K23's fake system calls (Section 5.3): non-existent numbers that the
+    kernel redirects to ptracer while it is attached. *)
+let k23_handoff = 1023
+let k23_detach = 1024
+let k23_reattach = 1025
+
+(* prctl operations *)
+let pr_set_syscall_user_dispatch = 59
+let pr_sys_dispatch_off = 0
+let pr_sys_dispatch_on = 1
+
+(* SUD selector byte states (include/uapi/linux/syscall_user_dispatch.h) *)
+let syscall_dispatch_filter_allow = 0
+let syscall_dispatch_filter_block = 1
+
+let name nr =
+  match nr with
+  | 0 -> "read"
+  | 1 -> "write"
+  | 2 -> "open"
+  | 3 -> "close"
+  | 4 -> "stat"
+  | 5 -> "fstat"
+  | 8 -> "lseek"
+  | 9 -> "mmap"
+  | 10 -> "mprotect"
+  | 11 -> "munmap"
+  | 12 -> "brk"
+  | 13 -> "rt_sigaction"
+  | 14 -> "rt_sigprocmask"
+  | 15 -> "rt_sigreturn"
+  | 16 -> "ioctl"
+  | 21 -> "access"
+  | 22 -> "pipe"
+  | 24 -> "sched_yield"
+  | 32 -> "dup"
+  | 35 -> "nanosleep"
+  | 39 -> "getpid"
+  | 41 -> "socket"
+  | 42 -> "connect"
+  | 43 -> "accept"
+  | 44 -> "sendto"
+  | 45 -> "recvfrom"
+  | 48 -> "shutdown"
+  | 49 -> "bind"
+  | 50 -> "listen"
+  | 56 -> "clone"
+  | 57 -> "fork"
+  | 59 -> "execve"
+  | 60 -> "exit"
+  | 61 -> "wait4"
+  | 62 -> "kill"
+  | 72 -> "fcntl"
+  | 74 -> "fsync"
+  | 77 -> "ftruncate"
+  | 79 -> "getcwd"
+  | 80 -> "chdir"
+  | 82 -> "rename"
+  | 83 -> "mkdir"
+  | 87 -> "unlink"
+  | 90 -> "chmod"
+  | 96 -> "gettimeofday"
+  | 101 -> "ptrace"
+  | 157 -> "prctl"
+  | 158 -> "arch_prctl"
+  | 186 -> "gettid"
+  | 202 -> "futex"
+  | 217 -> "getdents64"
+  | 228 -> "clock_gettime"
+  | 231 -> "exit_group"
+  | 257 -> "openat"
+  | 310 -> "process_vm_readv"
+  | 311 -> "process_vm_writev"
+  | 329 -> "pkey_mprotect"
+  | 330 -> "pkey_alloc"
+  | 331 -> "pkey_free"
+  | 317 -> "seccomp"
+  | 500 -> "syscall_500"
+  | 1023 -> "k23_handoff"
+  | 1024 -> "k23_detach"
+  | 1025 -> "k23_reattach"
+  | n -> Printf.sprintf "syscall_%d" n

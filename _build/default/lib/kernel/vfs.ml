@@ -1,0 +1,180 @@
+(** In-memory virtual filesystem.
+
+    Supports the subset of POSIX semantics the workloads and K23 need:
+    hierarchical directories, regular files, unlink/rename/truncate,
+    and an {e immutable} attribute.  K23 marks its offline-log
+    directory immutable once the offline phase completes (Section 5.3);
+    any later write, rename or unlink under an immutable directory
+    fails with EPERM. *)
+
+type node = Dir of dir | File of file
+
+and dir = {
+  entries : (string, node) Hashtbl.t;
+  mutable dir_immutable : bool;
+}
+
+and file = {
+  mutable content : Bytes.t;
+  mutable file_immutable : bool;
+  mutable mode : int;
+}
+
+type t = { root : dir }
+
+type err = [ `Perm | `Noent | `Notdir | `Isdir | `Inval ]
+
+let create () = { root = { entries = Hashtbl.create 16; dir_immutable = false } }
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+(** Resolve a path to a node. *)
+let rec lookup_in dir = function
+  | [] -> Some (Dir dir)
+  | [ last ] -> Hashtbl.find_opt dir.entries last
+  | comp :: rest -> (
+    match Hashtbl.find_opt dir.entries comp with
+    | Some (Dir d) -> lookup_in d rest
+    | Some (File _) | None -> None)
+
+let lookup t path = lookup_in t.root (split_path path)
+
+let exists t path = Option.is_some (lookup t path)
+
+let is_dir t path = match lookup t path with Some (Dir _) -> true | _ -> false
+
+(** Find the parent directory of [path]; [Error `Noent] when an
+    intermediate component is missing. *)
+let parent_of t path =
+  match List.rev (split_path path) with
+  | [] -> Error `Inval
+  | name :: rev_dirs -> (
+    match lookup_in t.root (List.rev rev_dirs) with
+    | Some (Dir d) -> Ok (d, name)
+    | Some (File _) -> Error `Notdir
+    | None -> Error `Noent)
+
+(** Any immutable directory on the path makes mutation fail (a coarse
+    but sufficient model of `chattr +i` on the log directory). *)
+let path_immutable t path =
+  let rec go dir = function
+    | [] -> dir.dir_immutable
+    | comp :: rest ->
+      dir.dir_immutable
+      ||
+      (match Hashtbl.find_opt dir.entries comp with
+      | Some (Dir d) -> go d rest
+      | Some (File f) -> f.file_immutable
+      | None -> false)
+  in
+  go t.root (split_path path)
+
+let mkdir_p t path =
+  let rec go dir = function
+    | [] -> Ok dir
+    | comp :: rest -> (
+      match Hashtbl.find_opt dir.entries comp with
+      | Some (Dir d) -> go d rest
+      | Some (File _) -> Error `Notdir
+      | None ->
+        let d = { entries = Hashtbl.create 8; dir_immutable = false } in
+        Hashtbl.replace dir.entries comp (Dir d);
+        go d rest)
+  in
+  go t.root (split_path path)
+
+(** Create (or truncate) a regular file. *)
+let create_file t path =
+  if path_immutable t path then Error `Perm
+  else
+    match parent_of t path with
+    | Error _ as e -> e
+    | Ok (dir, name) -> (
+      match Hashtbl.find_opt dir.entries name with
+      | Some (Dir _) -> Error `Isdir
+      | Some (File f) ->
+        if f.file_immutable then Error `Perm
+        else begin
+          f.content <- Bytes.empty;
+          Ok f
+        end
+      | None ->
+        let f = { content = Bytes.empty; file_immutable = false; mode = 0o644 } in
+        Hashtbl.replace dir.entries name (File f);
+        Ok f)
+
+let open_file t path =
+  match lookup t path with
+  | Some (File f) -> Ok f
+  | Some (Dir _) -> Error `Isdir
+  | None -> Error `Noent
+
+(** Convenience used by world setup and tests. *)
+let write_file t path content =
+  match mkdir_p t (Filename.dirname path) with
+  | Error _ as e -> e
+  | Ok _ -> (
+    match create_file t path with
+    | Error _ as e -> e
+    | Ok f ->
+      f.content <- Bytes.of_string content;
+      Ok f)
+
+let read_file t path =
+  match open_file t path with
+  | Ok f -> Ok (Bytes.to_string f.content)
+  | Error _ as e -> e
+
+let unlink t path =
+  if path_immutable t path then Error `Perm
+  else
+    match parent_of t path with
+    | Error _ as e -> e
+    | Ok (dir, name) ->
+      if Hashtbl.mem dir.entries name then begin
+        Hashtbl.remove dir.entries name;
+        Ok ()
+      end
+      else Error `Noent
+
+let rename t src dst =
+  if path_immutable t src || path_immutable t dst then Error `Perm
+  else
+    match (parent_of t src, parent_of t dst) with
+    | Ok (sdir, sname), Ok (ddir, dname) -> (
+      match Hashtbl.find_opt sdir.entries sname with
+      | None -> Error `Noent
+      | Some node ->
+        Hashtbl.remove sdir.entries sname;
+        Hashtbl.replace ddir.entries dname node;
+        Ok ())
+    | (Error _ as e), _ -> e
+    | _, (Error _ as e) -> e
+
+let listdir t path =
+  match lookup t path with
+  | Some (Dir d) -> Ok (Hashtbl.fold (fun k _ acc -> k :: acc) d.entries [] |> List.sort compare)
+  | Some (File _) -> Error `Notdir
+  | None -> Error `Noent
+
+(** Mark a directory (and implicitly everything below it) immutable —
+    the paper's "we mark the log directory immutable once the offline
+    phase completes". *)
+let set_immutable t path v =
+  match lookup t path with
+  | Some (Dir d) ->
+    d.dir_immutable <- v;
+    Ok ()
+  | Some (File f) ->
+    f.file_immutable <- v;
+    Ok ()
+  | None -> Error `Noent
+
+let err_to_errno (e : err) =
+  match e with
+  | `Perm -> Errno.eperm
+  | `Noent -> Errno.enoent
+  | `Notdir -> Errno.enotdir
+  | `Isdir -> Errno.eisdir
+  | `Inval -> Errno.einval

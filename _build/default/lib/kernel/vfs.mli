@@ -1,0 +1,42 @@
+(** In-memory virtual filesystem: hierarchical directories, regular
+    files, unlink/rename/truncate, and an {e immutable} attribute used
+    by K23 to seal its offline-log directory (Section 5.3): once
+    sealed, any write, rename or unlink below it fails with EPERM. *)
+
+type node = Dir of dir | File of file
+
+and dir = { entries : (string, node) Hashtbl.t; mutable dir_immutable : bool }
+
+and file = {
+  mutable content : Bytes.t;
+  mutable file_immutable : bool;
+  mutable mode : int;
+}
+
+type t = { root : dir }
+
+type err = [ `Perm | `Noent | `Notdir | `Isdir | `Inval ]
+
+val create : unit -> t
+val split_path : string -> string list
+val lookup : t -> string -> node option
+val exists : t -> string -> bool
+val is_dir : t -> string -> bool
+
+val path_immutable : t -> string -> bool
+(** True when any immutable directory (or the file itself) lies on the
+    path — mutations must then fail. *)
+
+val mkdir_p : t -> string -> (dir, err) result
+val create_file : t -> string -> (file, err) result
+val open_file : t -> string -> (file, err) result
+val write_file : t -> string -> string -> (file, err) result
+val read_file : t -> string -> (string, err) result
+val unlink : t -> string -> (unit, err) result
+val rename : t -> string -> string -> (unit, err) result
+val listdir : t -> string -> (string list, err) result
+
+val set_immutable : t -> string -> bool -> (unit, err) result
+(** Seal (or unseal) a directory or file. *)
+
+val err_to_errno : err -> int

@@ -1,0 +1,60 @@
+(** World assembly: wires the syscall table and the loader into a
+    {!Kern.world} and provides the high-level API used by examples,
+    tests and benchmarks. *)
+
+open Kern
+
+(** Create a fully wired world: syscall dispatch, execve, the dynamic
+    linker, the vdso and a minimal filesystem skeleton. *)
+let create ?ncores ?quantum ?seed ?aslr ?cost () =
+  let w = create_world ?ncores ?quantum ?seed ?aslr ?cost () in
+  w.syscall_impl <- Some Syscalls.dispatch;
+  w.execve_impl <- Some Loader.do_execve;
+  register_library w (Loader.ldso_image ());
+  register_library w (Loader.vdso_image ());
+  List.iter
+    (fun d -> ignore (Vfs.mkdir_p w.vfs d))
+    [ "/bin"; "/usr/lib"; "/etc"; "/tmp"; "/home/user"; "/k23" ];
+  ignore (Vfs.write_file w.vfs "/etc/ld.so.cache" "ld.so cache\n");
+  ignore (Vfs.write_file w.vfs "/etc/hostname" "sim\n");
+  w
+
+(** Spawn a process running [path].  [env] is a list of "K=V" strings;
+    LD_PRELOAD is honoured exactly as by the dynamic loader.  A
+    [tracer] attaches before the initial execve, so it observes the
+    program from its very first instruction (the property only ptrace
+    offers; Section 5.2). *)
+let spawn (w : world) ~path ?(argv = []) ?(env = []) ?tracer ?(vdso = true) () =
+  let p = new_proc w ~parent:None ~cmd:path in
+  let th = new_thread w p in
+  p.tracer <- tracer;
+  p.vdso_enabled <- vdso;
+  let argv = if argv = [] then [ path ] else argv in
+  match w.execve_impl with
+  | None -> panic "world not wired"
+  | Some f ->
+    let ret = f { world = w; thread = th } ~path ~argv ~envp:env in
+    if ret < 0 then begin
+      exit_proc p ~status:127;
+      Error ret
+    end
+    else Ok p
+
+(** Attach a ptrace-style tracer to a process (host-agent model; see
+    {!Kern.tracer}). *)
+let attach_tracer (p : proc) (tr : tracer) = p.tracer <- Some tr
+
+let detach_tracer (p : proc) = p.tracer <- None
+
+let run = Kern.run
+
+(** Run until [p] terminates (or the step budget is exhausted). *)
+let run_until_exit ?max_steps (w : world) (p : proc) =
+  run ?max_steps ~until:(fun () -> proc_dead p) w
+
+let exit_code (p : proc) = p.exit_status
+
+let stdout_of = console_output
+
+(** Total simulated wall-clock time (cycles) — the busiest core. *)
+let elapsed_cycles (w : world) = now w

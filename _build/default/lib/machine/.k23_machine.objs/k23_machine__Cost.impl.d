@@ -1,0 +1,1 @@
+lib/machine/cost.ml: K23_isa

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Cost Decode Icache Insn K23_isa Memory Regs

@@ -1,0 +1,1 @@
+lib/machine/icache.ml: Bytes Char Hashtbl Memory

@@ -1,0 +1,1 @@
+lib/machine/regs.ml: Array Format K23_isa List Reg

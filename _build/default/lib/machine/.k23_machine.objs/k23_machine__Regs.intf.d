@@ -1,0 +1,1 @@
+lib/machine/regs.mli: Format K23_isa

@@ -1,0 +1,46 @@
+(** Cycle-cost model.
+
+    The simulation measures time in deterministic "cycles".  The
+    constants below are calibrated so that the *relative* overheads of
+    the interposition mechanisms land where the paper's testbed
+    measured them (Table 5); see EXPERIMENTS.md for the calibration
+    notes.  Absolute cycle values are meaningless — only ratios are
+    reported, exactly as in the paper.
+
+    The model is a record so ablation benchmarks can vary individual
+    costs. *)
+
+type model = {
+  insn : int;  (** ordinary instruction *)
+  nop : int;  (** nop-sled entries are effectively free on real hardware *)
+  syscall_base : int;  (** kernel entry + dispatch + exit for a fast syscall *)
+  sud_armed_extra : int;
+      (** extra kernel-path cost for every syscall once SUD is
+          initialised, even with interposition toggled off via the
+          selector ("SUD-no-interposition" in Table 5) *)
+  sigsys_delivery : int;  (** building + delivering a SIGSYS signal frame *)
+  sigreturn_extra : int;  (** rt_sigreturn beyond its own syscall cost *)
+  ptrace_stop : int;  (** one tracee stop + tracer round trip *)
+  ptrace_mem_op : int;  (** one PTRACE_PEEK/POKE-style remote access *)
+}
+
+let default =
+  {
+    insn = 1;
+    nop = 0;
+    syscall_base = 150;
+    sud_armed_extra = 35;
+    sigsys_delivery = 905;
+    sigreturn_extra = 705;
+    ptrace_stop = 3000;
+    ptrace_mem_op = 400;
+  }
+
+(** Per-instruction execution cost (kernel-side trap costs are added by
+    the kernel, not here). *)
+let insn_cost m (i : K23_isa.Insn.t) =
+  match i with
+  | Nop -> m.nop
+  | Cpuid | Mfence -> 30  (* serialising instructions drain the pipeline *)
+  | Wrpkru | Rdpkru -> 20  (* measured ~20-60 cycles on real parts *)
+  | _ -> m.insn

@@ -1,0 +1,22 @@
+(** Single-instruction execution engine.
+
+    [step] fetches through the core's I-cache, decodes and executes one
+    instruction.  The CPU knows nothing about processes or the kernel;
+    anything privileged surfaces as a {!trap} for the kernel to
+    handle. *)
+
+type trap =
+  | Syscall_trap of { site : int; kind : [ `Syscall | `Sysenter ] }
+      (** [site] is the trapping instruction's address; rip has already
+          been advanced past it and rcx/r11 clobbered (x86 syscall
+          semantics — the clobber K23's trampoline exploits). *)
+  | Vcall_trap of int  (** host-function escape; rip advanced *)
+  | Fault_trap of Memory.fault  (** rip NOT advanced *)
+  | Ud_trap of int  (** undecodable bytes / ud2; rip not advanced *)
+  | Int3_trap of int
+  | Hlt_trap of int
+
+type outcome = Stepped of int | Trapped of trap * int
+(** The [int] is the cycle cost charged for the step. *)
+
+val step : ?cost:Cost.model -> Regs.t -> Memory.t -> Icache.t -> outcome

@@ -1,0 +1,59 @@
+(** Per-core instruction cache model.
+
+    Each core caches 64-byte lines on first fetch.  Lines are dropped
+    when
+
+    - the core itself writes to the line (self-snoop),
+    - the core executes a serialising instruction ([Cpuid]/[Mfence]),
+    - or the kernel performs a cache-coherent code write on behalf of
+      any core ({!Kern.code_write_barrier}) — x86 caches are coherent,
+      so cross-core stores become fetchable immediately.
+
+    Coherence is what makes pitfall P5 bite: lazypoline's two-byte
+    rewrite is two separate coherent stores, so between them every
+    other core can fetch (and execute) the torn [ff 05] byte pair.
+    Real hardware adds a second failure mode — already-decoded stale
+    micro-ops absent explicit serialisation — which is UB and
+    timing-dependent; we model the deterministic torn-write half and
+    document the serialisation half (see DESIGN.md). *)
+
+let line_size = 64
+
+type t = { lines : (int, Bytes.t) Hashtbl.t }
+
+let create () = { lines = Hashtbl.create 256 }
+
+let line_base addr = addr land lnot (line_size - 1)
+
+(** Fetch one instruction byte through the cache.  Fills the line from
+    memory on miss (checking execute permission on the fill). *)
+let fetch_u8 t (mem : Memory.t) addr =
+  let base = line_base addr in
+  match Hashtbl.find_opt t.lines base with
+  | Some line -> Char.code (Bytes.get line (addr - base))
+  | None ->
+    Memory.check_exec mem addr;
+    let line = Bytes.create line_size in
+    for i = 0 to line_size - 1 do
+      let b = try Memory.read_u8_raw mem (base + i) with Memory.Fault _ -> 0 in
+      Bytes.set line i (Char.chr b)
+    done;
+    Hashtbl.replace t.lines base line;
+    Char.code (Bytes.get line (addr - base))
+
+(** Invalidate all lines overlapping [addr, addr+len): models the
+    self-snoop a core performs on its own stores. *)
+let invalidate_range t ~addr ~len =
+  let first = line_base addr and last = line_base (addr + len - 1) in
+  let b = ref first in
+  while !b <= last do
+    Hashtbl.remove t.lines !b;
+    b := !b + line_size
+  done
+
+(** Full flush: serialising instruction executed. *)
+let flush t = Hashtbl.reset t.lines
+
+(** True when the cache currently holds a (possibly stale) copy of the
+    line containing [addr]; used by tests. *)
+let holds t addr = Hashtbl.mem t.lines (line_base addr)

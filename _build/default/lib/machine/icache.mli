@@ -1,0 +1,25 @@
+(** Per-core instruction cache (64-byte lines).
+
+    Lines are filled on first fetch (checking execute permission) and
+    dropped on self-snoop ({!invalidate_range}), serialising
+    instructions ({!flush}), or a kernel cache-coherent code write
+    ([Kern.code_write_barrier]).  Coherence is what exposes
+    lazypoline's torn two-byte rewrite to other cores (pitfall P5). *)
+
+val line_size : int
+
+type t
+
+val create : unit -> t
+
+val fetch_u8 : t -> Memory.t -> int -> int
+(** Fetch one instruction byte through the cache; fills the containing
+    line on miss.
+    @raise Memory.Fault when the line's page is not executable. *)
+
+val invalidate_range : t -> addr:int -> len:int -> unit
+val flush : t -> unit
+
+val holds : t -> int -> bool
+(** Whether the cache currently holds the line containing the
+    address (tests). *)

@@ -1,0 +1,228 @@
+(** Sparse paged virtual memory with RWX permissions and protection keys.
+
+    Pages are 4 KiB.  Each page carries a protection key (pkey); data
+    accesses are additionally checked against the accessing thread's
+    PKRU register, mirroring Intel MPK semantics:
+
+    - bit [2k] of PKRU (Access Disable) forbids all data access to
+      pages tagged with key [k];
+    - bit [2k+1] (Write Disable) forbids writes;
+    - {b instruction fetch is never blocked by PKRU} — which is exactly
+      why zpoline/lazypoline/K23 can build eXecute-Only Memory (XOM)
+      out of PKU, and why NULL {e execution} is not stopped by it
+      (pitfall P4a).
+
+    The [*_raw] accessors bypass permission checks; they model kernel
+    accesses (and tooling).  Checked accessors raise {!Fault}. *)
+
+let page_size = 4096
+let page_shift = 12
+
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_none = { r = false; w = false; x = false }
+let perm_r = { r = true; w = false; x = false }
+let perm_rw = { r = true; w = true; x = false }
+let perm_rx = { r = true; w = false; x = true }
+let perm_rwx = { r = true; w = true; x = true }
+let perm_x = { r = false; w = false; x = true }
+
+let perm_to_string p =
+  Printf.sprintf "%c%c%c" (if p.r then 'r' else '-') (if p.w then 'w' else '-')
+    (if p.x then 'x' else '-')
+
+type access = [ `Read | `Write | `Exec ]
+
+type fault = { fault_addr : int; access : access }
+
+exception Fault of fault
+
+type page = { bytes : Bytes.t; mutable perm : perm; mutable pkey : int }
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable committed_bytes : int;
+      (** physical memory actually allocated (touched pages) *)
+  mutable reserved_bytes : int;
+      (** virtual reservations including MAP_NORESERVE-style mappings
+          that never allocate pages (zpoline's full-address-space
+          bitmap); the basis of the P4b memory-overhead measurement *)
+}
+
+let create () = { pages = Hashtbl.create 1024; committed_bytes = 0; reserved_bytes = 0 }
+
+let page_index addr = addr lsr page_shift
+
+let align_down addr = addr land lnot (page_size - 1)
+
+let align_up addr = (addr + page_size - 1) land lnot (page_size - 1)
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
+
+let find_page t addr = Hashtbl.find_opt t.pages (page_index addr)
+
+(** [map t ~addr ~len ~perm] maps (and commits) pages covering
+    [addr, addr+len).  [addr] must be page-aligned.  Already-mapped
+    pages in the range are remapped fresh (MAP_FIXED semantics). *)
+let map ?(pkey = 0) t ~addr ~len ~perm =
+  if addr land (page_size - 1) <> 0 then invalid_arg "Memory.map: unaligned addr";
+  if len <= 0 then invalid_arg "Memory.map: bad length";
+  let npages = (align_up len) lsr page_shift in
+  for i = 0 to npages - 1 do
+    let idx = page_index addr + i in
+    if not (Hashtbl.mem t.pages idx) then t.committed_bytes <- t.committed_bytes + page_size;
+    Hashtbl.replace t.pages idx { bytes = Bytes.make page_size '\000'; perm; pkey }
+  done;
+  t.reserved_bytes <- t.reserved_bytes + (npages * page_size)
+
+(** Record a virtual-only reservation (MAP_NORESERVE): no pages are
+    committed, but the reservation is accounted, so the P4b bench can
+    compare zpoline's 2^48-bit bitmap against K23's hash set. *)
+let reserve t ~len = t.reserved_bytes <- t.reserved_bytes + len
+
+let unmap t ~addr ~len =
+  let npages = (align_up len) lsr page_shift in
+  for i = 0 to npages - 1 do
+    let idx = page_index addr + i in
+    if Hashtbl.mem t.pages idx then begin
+      Hashtbl.remove t.pages idx;
+      t.committed_bytes <- t.committed_bytes - page_size
+    end
+  done;
+  t.reserved_bytes <- t.reserved_bytes - (npages * page_size)
+
+(** mprotect: change permissions of every mapped page in range. *)
+let set_perm t ~addr ~len ~perm =
+  let npages = (align_up (len + (addr land (page_size - 1)))) lsr page_shift in
+  for i = 0 to max 0 (npages - 1) do
+    match Hashtbl.find_opt t.pages (page_index addr + i) with
+    | Some p -> p.perm <- perm
+    | None -> ()
+  done
+
+let set_pkey t ~addr ~len ~pkey =
+  let npages = (align_up (len + (addr land (page_size - 1)))) lsr page_shift in
+  for i = 0 to max 0 (npages - 1) do
+    match Hashtbl.find_opt t.pages (page_index addr + i) with
+    | Some p -> p.pkey <- pkey
+    | None -> ()
+  done
+
+let get_perm t addr = Option.map (fun p -> p.perm) (find_page t addr)
+let get_pkey t addr = Option.map (fun p -> p.pkey) (find_page t addr)
+
+(* ------------------------------------------------------------------ *)
+(* Raw (kernel-view) access                                            *)
+
+let read_u8_raw t addr =
+  match find_page t addr with
+  | None -> raise (Fault { fault_addr = addr; access = `Read })
+  | Some p -> Char.code (Bytes.get p.bytes (addr land (page_size - 1)))
+
+let write_u8_raw t addr v =
+  match find_page t addr with
+  | None -> raise (Fault { fault_addr = addr; access = `Write })
+  | Some p -> Bytes.set p.bytes (addr land (page_size - 1)) (Char.chr (v land 0xff))
+
+let read_bytes_raw t addr len =
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (read_u8_raw t (addr + i)))
+  done;
+  out
+
+let write_bytes_raw t addr b =
+  Bytes.iteri (fun i c -> write_u8_raw t (addr + i) (Char.code c)) b
+
+let read_u64_raw t addr =
+  let rec go i acc = if i = 8 then acc else go (i + 1) (acc lor (read_u8_raw t (addr + i) lsl (8 * i))) in
+  go 0 0
+
+let write_u64_raw t addr v =
+  for i = 0 to 7 do
+    write_u8_raw t (addr + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* PKRU-checked (user-view) access                                     *)
+
+let pkru_access_disabled pkru pkey = pkru land (1 lsl (2 * pkey)) <> 0
+let pkru_write_disabled pkru pkey = pkru land (1 lsl ((2 * pkey) + 1)) <> 0
+
+let check_read t ~pkru addr =
+  match find_page t addr with
+  | None -> raise (Fault { fault_addr = addr; access = `Read })
+  | Some p ->
+    if (not p.perm.r) || pkru_access_disabled pkru p.pkey then
+      raise (Fault { fault_addr = addr; access = `Read })
+
+let check_write t ~pkru addr =
+  match find_page t addr with
+  | None -> raise (Fault { fault_addr = addr; access = `Write })
+  | Some p ->
+    if
+      (not p.perm.w)
+      || pkru_access_disabled pkru p.pkey
+      || pkru_write_disabled pkru p.pkey
+    then raise (Fault { fault_addr = addr; access = `Write })
+
+(** Instruction fetch check: exec permission only — PKU does not apply
+    to fetches (the XOM / P4a story). *)
+let check_exec t addr =
+  match find_page t addr with
+  | None -> raise (Fault { fault_addr = addr; access = `Exec })
+  | Some p -> if not p.perm.x then raise (Fault { fault_addr = addr; access = `Exec })
+
+let read_u8 t ~pkru addr =
+  check_read t ~pkru addr;
+  read_u8_raw t addr
+
+let write_u8 t ~pkru addr v =
+  check_write t ~pkru addr;
+  write_u8_raw t addr v
+
+let read_u64 t ~pkru addr =
+  for i = 0 to 7 do
+    check_read t ~pkru (addr + i)
+  done;
+  read_u64_raw t addr
+
+let write_u64 t ~pkru addr v =
+  for i = 0 to 7 do
+    check_write t ~pkru (addr + i)
+  done;
+  write_u64_raw t addr v
+
+let fetch_u8 t addr =
+  check_exec t addr;
+  read_u8_raw t addr
+
+(* ------------------------------------------------------------------ *)
+
+(** Deep copy, for fork(). *)
+let clone t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter
+    (fun idx p -> Hashtbl.replace pages idx { p with bytes = Bytes.copy p.bytes })
+    t.pages;
+  { pages; committed_bytes = t.committed_bytes; reserved_bytes = t.reserved_bytes }
+
+(** C-string helpers (argv/envp live in simulated memory so that a
+    ptrace-based tracer can inspect and rewrite them). *)
+let read_cstr ?(max = 4096) t addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= max then Buffer.contents buf
+    else
+      let c = read_u8_raw t (addr + i) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1)
+      end
+  in
+  go 0
+
+let write_cstr t addr s =
+  String.iteri (fun i c -> write_u8_raw t (addr + i) (Char.code c)) s;
+  write_u8_raw t (addr + String.length s) 0

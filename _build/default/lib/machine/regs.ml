@@ -1,0 +1,31 @@
+(** CPU register file of one simulated thread. *)
+
+type t = {
+  gpr : int array;  (** 16 general-purpose registers, indexed per {!K23_isa.Reg} *)
+  mutable rip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable pkru : int;  (** protection-key rights register (2 bits/key) *)
+}
+
+let create () = { gpr = Array.make 16 0; rip = 0; zf = false; sf = false; pkru = 0 }
+
+let get t r = t.gpr.(K23_isa.Reg.index r)
+let set t r v = t.gpr.(K23_isa.Reg.index r) <- v
+
+let copy t = { t with gpr = Array.copy t.gpr }
+
+(** Restore [t] from [src] in place (sigreturn, ptrace SETREGS). *)
+let restore t ~from =
+  Array.blit from.gpr 0 t.gpr 0 16;
+  t.rip <- from.rip;
+  t.zf <- from.zf;
+  t.sf <- from.sf;
+  t.pkru <- from.pkru
+
+let pp fmt t =
+  let open K23_isa in
+  List.iter
+    (fun r -> Format.fprintf fmt "%s=%#x " (Reg.to_string r) (get t r))
+    Reg.all;
+  Format.fprintf fmt "rip=%#x zf=%b sf=%b pkru=%#x" t.rip t.zf t.sf t.pkru

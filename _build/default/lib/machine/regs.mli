@@ -1,0 +1,22 @@
+(** Register file of one simulated thread: 16 GPRs, rip, ZF/SF flags
+    and the PKRU protection-key rights register. *)
+
+type t = {
+  gpr : int array;
+  mutable rip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable pkru : int;
+}
+
+val create : unit -> t
+val get : t -> K23_isa.Reg.t -> int
+val set : t -> K23_isa.Reg.t -> int -> unit
+
+val copy : t -> t
+(** Snapshot (signal frames, fork). *)
+
+val restore : t -> from:t -> unit
+(** Restore in place (sigreturn, clone child setup). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pitfalls/harness.ml: Buffer Hashtbl K23_baselines K23_core K23_interpose K23_kernel K23_userland Kern List Option Pocs Printf Sim Sysno

@@ -1,0 +1,1 @@
+lib/pitfalls/pocs.ml: Asm Bytes Encode Insn K23_isa K23_kernel K23_machine K23_userland Kern List Mapper Option Sim Sysno

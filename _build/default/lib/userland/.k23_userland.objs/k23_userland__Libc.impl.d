@@ -1,0 +1,1 @@
+lib/userland/libc.ml: Asm Hashtbl Insn K23_isa K23_kernel K23_machine Kern List Mapper Memory Option Regs String Sysno

@@ -1,0 +1,1 @@
+lib/userland/sim.ml: K23_isa K23_kernel Kern Libc List Printf Stdlibs String Vfs World

@@ -1,0 +1,1 @@
+lib/userland/stdlibs.ml: Asm Filename Insn K23_isa K23_kernel Kern Sysno

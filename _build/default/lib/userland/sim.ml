@@ -1,0 +1,41 @@
+(** Convenience layer: a world with the standard userland registered,
+    and helpers to define application binaries. *)
+
+open K23_kernel
+
+(** A wired world with libc, the stub libraries, and the files the
+    startup sequence touches. *)
+let create_world ?ncores ?quantum ?seed ?aslr ?cost () =
+  let w = World.create ?ncores ?quantum ?seed ?aslr ?cost () in
+  Kern.register_library w (Libc.image ());
+  List.iter (Kern.register_library w) (Stdlibs.all ());
+  ignore (Vfs.write_file w.vfs "/usr/lib/locale/locale-archive" (String.make 1024 'L'));
+  w
+
+(** Define and register an application binary.
+
+    [items] is the program text/data (entry symbol ["main"] unless
+    overridden); [needed] defaults to libc. *)
+let register_app w ~path ?(needed = [ Libc.path ]) ?(entry = "main") ?init
+    ?(host_fns = []) items =
+  let im : Kern.image =
+    {
+      im_name = path;
+      im_prog = K23_isa.Asm.assemble items;
+      im_host_fns = host_fns;
+      im_init = init;
+      im_entry = Some entry;
+      im_needed = needed;
+      im_owner = App;
+    }
+  in
+  Kern.register_library w im;
+  im
+
+(** Spawn + run to completion; returns the process. *)
+let run_to_exit ?max_steps w ~path ?argv ?env () =
+  match World.spawn w ~path ?argv ?env () with
+  | Error e -> failwith (Printf.sprintf "spawn %s failed: %d" path e)
+  | Ok p ->
+    World.run_until_exit ?max_steps w p;
+    p

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    The whole simulation must be reproducible bit-for-bit, so every source
+    of "randomness" (ASLR slides, benchmark jitter, scheduler seeds) draws
+    from an explicitly seeded [Rng.t] instead of [Stdlib.Random]. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 step: well-distributed 64-bit outputs from a 64-bit counter. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t bound] is a uniform value in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+(** [float t] is a uniform float in [0, 1). *)
+let float t =
+  let v = Int64.to_int (next_int64 t) land ((1 lsl 53) - 1) in
+  float_of_int v /. float_of_int (1 lsl 53)
+
+(** [split t] derives an independent generator; used to give each
+    subsystem its own stream without coupling their consumption order. *)
+let split t = { state = next_int64 t }

@@ -1,0 +1,17 @@
+(** Deterministic SplitMix64 PRNG: every source of "randomness" in the
+    simulation (ASLR slides, cost jitter) draws from an explicitly
+    seeded stream, so runs reproduce bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val split : t -> t
+(** Derive an independent stream. *)

@@ -1,0 +1,43 @@
+(** Small statistics helpers used by the benchmark harness.
+
+    The paper (Section 6.2) runs each experiment 10 times, discards the
+    minimum and maximum as outliers, and reports the geometric mean of the
+    overhead plus the standard deviation as a percentage of the mean.
+    These helpers implement exactly that methodology. *)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (sq /. float_of_int (n - 1))
+
+(** Standard deviation as a percentage of the mean, the paper's
+    "(±0.042%)" figures. *)
+let stddev_pct xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else 100.0 *. stddev xs /. m
+
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | _ ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (logsum /. float_of_int (List.length xs))
+
+(** Drop one minimum and one maximum element (the paper's outlier rule).
+    Lists shorter than 3 are returned unchanged. *)
+let drop_outliers xs =
+  if List.length xs < 3 then xs
+  else
+    let sorted = List.sort compare xs in
+    match sorted with
+    | _min :: rest ->
+      (match List.rev rest with _max :: kept -> List.rev kept | [] -> rest)
+    | [] -> xs

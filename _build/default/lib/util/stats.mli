@@ -1,0 +1,12 @@
+(** Statistics used by the benchmark harness, implementing the paper's
+    §6.2 methodology: N runs, min/max dropped as outliers, geometric
+    mean, standard deviation as a percentage of the mean. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val stddev_pct : float list -> float
+val geomean : float list -> float
+
+val drop_outliers : float list -> float list
+(** Drop one minimum and one maximum; lists shorter than 3 are
+    returned unchanged. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest K23_apps K23_eval K23_kernel K23_userland Kern List Option Printf Sim String Vfs World

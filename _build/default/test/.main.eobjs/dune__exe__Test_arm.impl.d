@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Bytes Decode Encode Gen Insn K23_isa K23_isa_arm List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Bytes Decode Insn K23_isa List

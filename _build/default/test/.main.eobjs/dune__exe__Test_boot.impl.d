@@ -1,0 +1,1 @@
+test/test_boot.ml: Alcotest Asm Hashtbl Insn K23_isa K23_kernel K23_machine K23_userland Kern Libc List Printf Sim String World

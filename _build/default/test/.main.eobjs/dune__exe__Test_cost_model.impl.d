@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Array Cost K23_apps K23_isa K23_kernel K23_machine K23_userland List

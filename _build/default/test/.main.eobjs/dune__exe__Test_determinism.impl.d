@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest K23_apps K23_core K23_eval K23_kernel K23_userland Kern Sim World

@@ -1,0 +1,1 @@
+test/test_dlopen.ml: Alcotest Asm Hashtbl Insn K23_baselines K23_core K23_interpose K23_isa K23_kernel K23_pitfalls K23_userland Kern List Option Sim String Sysno World

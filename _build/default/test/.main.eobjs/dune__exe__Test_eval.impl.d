@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest K23_core K23_eval List String

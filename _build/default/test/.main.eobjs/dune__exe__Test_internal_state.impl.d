@@ -1,0 +1,1 @@
+test/test_internal_state.ml: Alcotest Hashtbl K23_core K23_isa K23_kernel K23_machine K23_userland Kern List Sim Sysno World

@@ -1,0 +1,1 @@
+test/test_interpose_unit.ml: Alcotest Asm Bytes Hashtbl K23_apps K23_baselines K23_eval K23_interpose K23_isa K23_kernel K23_machine K23_userland K23_util Kern List Option Sim World

@@ -1,0 +1,1 @@
+test/test_interposers.ml: Alcotest Array Asm Insn K23_baselines K23_interpose K23_isa K23_kernel K23_machine K23_userland Kern Printf Sim Sysno World

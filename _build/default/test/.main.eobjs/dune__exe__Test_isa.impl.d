@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Decode Disasm Encode Gen Insn K23_isa K23_util List QCheck QCheck_alcotest Reg Test

@@ -1,0 +1,1 @@
+test/test_k23.ml: Alcotest Asm Insn K23_core K23_interpose K23_isa K23_kernel K23_userland Kern Libc List Printf Sim Sysno Vfs World

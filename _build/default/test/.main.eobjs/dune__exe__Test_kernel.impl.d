@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Asm Buffer Bytes Char Hashtbl Insn K23_isa K23_kernel K23_machine K23_userland K23_util Kern List Net QCheck QCheck_alcotest Sim String Vfs

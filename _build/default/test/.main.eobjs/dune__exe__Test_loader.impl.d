@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Asm Errno Insn K23_isa K23_kernel K23_userland Libc List Loader Sim Stdlibs World

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Cpu Encode Icache K23_isa K23_machine Memory QCheck QCheck_alcotest Regs

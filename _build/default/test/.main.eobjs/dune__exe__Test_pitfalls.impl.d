@@ -1,0 +1,1 @@
+test/test_pitfalls.ml: Alcotest K23_pitfalls List Printf

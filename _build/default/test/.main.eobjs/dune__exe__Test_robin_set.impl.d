@@ -1,0 +1,1 @@
+test/test_robin_set.ml: Alcotest Gen Hashtbl K23_core List Printf QCheck QCheck_alcotest Test

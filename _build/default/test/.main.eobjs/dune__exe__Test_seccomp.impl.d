@@ -1,0 +1,1 @@
+test/test_seccomp.ml: Alcotest Asm Bpf Char Errno Format Insn K23_baselines K23_isa K23_kernel K23_pitfalls K23_userland Kern List Option Printf QCheck QCheck_alcotest Sim Sysno World

@@ -1,0 +1,1 @@
+test/test_static_augment.ml: Alcotest K23_core K23_eval K23_interpose K23_kernel K23_pitfalls K23_userland Printf Sim World

@@ -1,0 +1,1 @@
+test/test_xom.ml: Alcotest Asm Bytes Hashtbl Insn K23_baselines K23_interpose K23_isa K23_kernel K23_machine K23_userland K23_util Kern List Sim

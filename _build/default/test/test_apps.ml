@@ -1,0 +1,105 @@
+(* Workload applications: coreutils behave like their namesakes, the
+   servers serve, the clients measure. *)
+
+open K23_kernel
+open K23_userland
+module Apps = K23_apps
+
+let boot_coreutil ?argv name =
+  let w = Sim.create_world () in
+  Apps.Coreutils.register_all w;
+  let p = Sim.run_to_exit w ~path:(Apps.Coreutils.path name) ?argv () in
+  (w, p)
+
+let test_pwd () =
+  let _, p = boot_coreutil "pwd" in
+  Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status
+
+let test_touch_creates () =
+  let w, p = boot_coreutil "touch" in
+  Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status;
+  Alcotest.(check bool) "file created" true (Vfs.exists w.vfs "/tmp/touched")
+
+let test_ls_lists_root () =
+  let _, p = boot_coreutil "ls" in
+  Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status;
+  let out = World.stdout_of p in
+  Alcotest.(check bool) "mentions /etc" true
+    (String.split_on_char '\000' out |> List.exists (( = ) "etc"))
+
+let test_cat_prints_file () =
+  let _, p = boot_coreutil "cat" in
+  Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status;
+  Alcotest.(check string) "prints /etc/hostname" "sim\n" (World.stdout_of p)
+
+let test_clear_outputs_escape () =
+  let _, p = boot_coreutil "clear" in
+  Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status;
+  Alcotest.(check string) "ANSI clear" "\x1b[H\x1b[2J" (World.stdout_of p)
+
+(* a server spec end-to-end, natively: all requests complete *)
+let drive spec =
+  let w = Sim.create_world ~quantum:8 () in
+  let path, port = K23_eval.Macro.register_workload w spec in
+  (match World.spawn w ~path () with
+  | Error e -> Alcotest.failf "server spawn: %d" e
+  | Ok _ -> ());
+  K23_eval.Macro.wait_for_listener w port;
+  Kern.sync_cores w;
+  let client = Option.get (K23_eval.Macro.client_for spec ~rounds:4) in
+  let results = Apps.Wrk.register w client in
+  (match World.spawn w ~path:client.Apps.Wrk.path () with
+  | Error e -> Alcotest.failf "client spawn: %d" e
+  | Ok cp -> Kern.run ~max_steps:50_000_000 ~until:(fun () -> Kern.proc_dead cp) w);
+  K23_eval.Macro.kill_everything w;
+  (client, results)
+
+let expect_all_requests spec () =
+  let client, results = drive spec in
+  let expected = client.Apps.Wrk.threads * client.conns * client.depth * client.rounds in
+  Alcotest.(check int) "all requests answered" expected results.Apps.Wrk.completed;
+  Alcotest.(check int) "no errors" 0 results.errors
+
+let test_sqlite_runs () =
+  let w = Sim.create_world () in
+  Apps.Sqlite_like.register w (Apps.Sqlite_like.default ~ops:50 ());
+  let p = Sim.run_to_exit w ~path:"/usr/bin/sqlite3" () in
+  Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status;
+  (* 50 WAL frames of 128 bytes appended *)
+  match Vfs.read_file w.vfs Apps.Sqlite_like.wal_path with
+  | Ok s -> Alcotest.(check int) "wal size" (50 * 128) (String.length s)
+  | Error _ -> Alcotest.fail "wal missing"
+
+(* the redis serial section caps aggregate throughput *)
+let test_redis_serial_scaling () =
+  let tput io_threads =
+    K23_eval.Macro.run_spec (K23_eval.Macro.redis ~io_threads) K23_eval.Mech.Native ~seed:7
+  in
+  let one = tput 1 and six = tput 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "6 threads faster than 1 (%f vs %f)" six one)
+    true (six > one *. 1.2);
+  Alcotest.(check bool)
+    (Printf.sprintf "but sublinear (%f < 4x %f)" six one)
+    true
+    (six < one *. 4.0)
+
+let tests =
+  ( "apps",
+    [
+      Alcotest.test_case "pwd" `Quick test_pwd;
+      Alcotest.test_case "touch creates file" `Quick test_touch_creates;
+      Alcotest.test_case "ls lists cwd" `Quick test_ls_lists_root;
+      Alcotest.test_case "cat prints file" `Quick test_cat_prints_file;
+      Alcotest.test_case "clear emits escape" `Quick test_clear_outputs_escape;
+      Alcotest.test_case "nginx serves all requests" `Quick
+        (expect_all_requests (K23_eval.Macro.nginx ~workers:1 ~kb:0));
+      Alcotest.test_case "nginx 4KB + multiworker" `Quick
+        (expect_all_requests (K23_eval.Macro.nginx ~workers:4 ~kb:4));
+      Alcotest.test_case "lighttpd serves all requests" `Quick
+        (expect_all_requests (K23_eval.Macro.lighttpd ~workers:1 ~kb:0));
+      Alcotest.test_case "redis serves all requests" `Quick
+        (expect_all_requests (K23_eval.Macro.redis ~io_threads:2));
+      Alcotest.test_case "sqlite writes its WAL" `Quick test_sqlite_runs;
+      Alcotest.test_case "redis serial-section scaling" `Quick test_redis_serial_scaling;
+    ] )

@@ -1,0 +1,101 @@
+(* The fixed-length ISA study (paper Section 7): properties that hold
+   on the AArch64-flavoured ISA but provably fail on the x86-64 one. *)
+
+module Arm = K23_isa_arm.Arm
+open K23_isa
+
+let arm_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return Arm.Ret;
+      QCheck.Gen.return Arm.Nop;
+      QCheck.Gen.map (fun i -> Arm.Svc (i land 0xffff)) QCheck.Gen.nat;
+      QCheck.Gen.map (fun o -> Arm.Bl (o land 0xffff)) QCheck.Gen.nat;
+      QCheck.Gen.map (fun o -> Arm.B (o land 0xffff)) QCheck.Gen.nat;
+      QCheck.Gen.map2 (fun r i -> Arm.Movz (r land 31, i land 0xffff)) QCheck.Gen.nat QCheck.Gen.nat;
+      QCheck.Gen.map2
+        (fun r i -> Arm.Add_imm (r land 31, (r / 32) land 31, i land 0xfff))
+        QCheck.Gen.nat QCheck.Gen.nat;
+      QCheck.Gen.map2 (fun r o -> Arm.Ldr_lit (r land 31, o land 0xffff)) QCheck.Gen.nat QCheck.Gen.nat;
+    ]
+
+let test_roundtrip () =
+  List.iter
+    (fun i ->
+      match Arm.decode (Arm.encode i) with
+      | Some i' -> Alcotest.(check bool) "roundtrip" true (i = i')
+      | None -> Alcotest.fail "did not decode")
+    [ Arm.Svc 0; Arm.Bl 100; Arm.B (-3); Arm.Ret; Arm.Nop; Arm.Movz (3, 500); Arm.Add_imm (1, 2, 77); Arm.Ldr_lit (5, -9) ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"arm encode/decode roundtrip" ~count:1000 (QCheck.make arm_gen)
+    (fun i -> Arm.decode (Arm.encode i) = Some i)
+
+(* fixed length => sweep is exact on pure code, ALWAYS *)
+let prop_sweep_exact =
+  QCheck.Test.make ~name:"arm sweep is exact on any code" ~count:500
+    QCheck.(make Gen.(list_size (int_range 1 60) arm_gen))
+    (fun insns ->
+      let code = Arm.assemble insns in
+      let decoded = Arm.sweep code ~base:0 |> List.map snd in
+      decoded = List.map (fun i -> Some i) insns)
+
+(* THE contrast with x86-64: a syscall pattern inside another
+   instruction's immediate is harmless on ARM (execution is aligned)
+   but is a real executable gadget on x86-64 (pitfall P3b). *)
+let test_embedded_svc_is_not_executable () =
+  (* movz x1, #0xd401 — the immediate contains svc-looking bytes, but
+     no aligned word decodes to svc *)
+  let code = Arm.assemble [ Arm.Movz (1, 0xd401); Arm.Ret ] in
+  Alcotest.(check (list int)) "no svc seen" [] (Arm.find_svc_sites code ~base:0);
+  (* x86-64 contrast: bytes of a syscall inside a mov immediate ARE
+     reachable by jumping into the instruction *)
+  let x86 = Encode.assemble [ Mov_ri32 (RAX, 0x00c3050f) ] in
+  match Decode.decode_bytes x86 1 with
+  | Ok (Insn.Syscall, _) -> () (* misaligned execution reaches a syscall *)
+  | _ -> Alcotest.fail "x86 embedded syscall should be executable at offset 1"
+
+(* false negatives are impossible on ARM: every genuine svc in CODE is
+   found by the sweep (compare x86's P2a, where a desynchronised sweep
+   can swallow one) *)
+let prop_no_overlook =
+  QCheck.Test.make ~name:"arm sweep never overlooks an svc" ~count:500
+    QCheck.(make Gen.(list_size (int_range 1 60) arm_gen))
+    (fun insns ->
+      let code = Arm.assemble insns in
+      let expected =
+        List.mapi (fun i insn -> (4 * i, insn)) insns
+        |> List.filter_map (function addr, Arm.Svc _ -> Some addr | _ -> None)
+      in
+      Arm.find_svc_sites code ~base:0 = expected)
+
+(* embedded DATA words can still alias the svc encoding: P3a-style
+   false positives shrink but persist, so offline validation remains
+   useful on ARM too *)
+let test_data_word_can_alias_svc () =
+  let data_word = Arm.bytes_of_word (Arm.encode (Arm.Svc 7)) in
+  let code = Bytes.cat (Arm.assemble [ Arm.Ret ]) data_word in
+  Alcotest.(check (list int)) "data word reported" [ 4 ] (Arm.find_svc_sites code ~base:0)
+
+(* same-size rewriting: svc and bl are both 4 bytes; the rewrite is a
+   single aligned store (no torn window — P5's non-atomicity vanishes) *)
+let test_atomic_rewrite () =
+  let code = Arm.assemble [ Arm.Movz (8, 64); Arm.Svc 0; Arm.Ret ] in
+  Arm.rewrite_svc_to_bl code ~site_off:4 ~rel_words:1000;
+  match Arm.decode (Arm.word_of_bytes code 4) with
+  | Some (Arm.Bl 1000) -> ()
+  | _ -> Alcotest.fail "rewrite must produce bl"
+
+let tests =
+  ( "arm (fixed-length ISA study)",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_sweep_exact;
+      Alcotest.test_case "embedded svc not executable (vs x86 P3b)" `Quick
+        test_embedded_svc_is_not_executable;
+      QCheck_alcotest.to_alcotest prop_no_overlook;
+      Alcotest.test_case "data word can alias svc (P3a persists)" `Quick
+        test_data_word_can_alias_svc;
+      Alcotest.test_case "same-size atomic rewrite (no P5)" `Quick test_atomic_rewrite;
+    ] )

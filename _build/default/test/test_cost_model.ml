@@ -1,0 +1,62 @@
+(* Cost-model invariants the calibration (EXPERIMENTS.md) relies on. *)
+
+open K23_machine
+module Appkit = K23_apps.Appkit
+
+let test_insn_costs () =
+  let m = Cost.default in
+  Alcotest.(check int) "nop free" 0 (Cost.insn_cost m K23_isa.Insn.Nop);
+  Alcotest.(check int) "mov 1 cycle" 1 (Cost.insn_cost m (K23_isa.Insn.Mov_rr (RAX, RBX)));
+  Alcotest.(check bool) "serialising insns cost more" true
+    (Cost.insn_cost m K23_isa.Insn.Cpuid > 10);
+  Alcotest.(check bool) "wrpkru costs tens of cycles" true
+    (Cost.insn_cost m K23_isa.Insn.Wrpkru >= 10)
+
+let test_cost_ratios_documented () =
+  (* the constants EXPERIMENTS.md documents; a change here must update
+     the calibration table *)
+  let m = Cost.default in
+  Alcotest.(check int) "syscall_base" 150 m.syscall_base;
+  Alcotest.(check int) "sud_armed_extra" 35 m.sud_armed_extra;
+  Alcotest.(check int) "sigsys_delivery" 905 m.sigsys_delivery;
+  Alcotest.(check int) "sigreturn_extra" 705 m.sigreturn_extra;
+  Alcotest.(check int) "ptrace_stop" 3000 m.ptrace_stop
+
+(* the serial-section model: the chain never runs backwards and
+   aggregates at most 1/cost *)
+let test_serial_chain () =
+  let w = K23_userland.Sim.create_world () in
+  K23_apps.Coreutils.register_all w;
+  let p = K23_userland.Sim.run_to_exit w ~path:"/bin/pwd" () in
+  let th = List.hd p.threads in
+  let ctx = { K23_kernel.Kern.world = w; thread = th } in
+  let s = Appkit.serial_create () in
+  let t0 = w.core_cycles.(th.core) in
+  Appkit.serial_enter ctx s ~cost:1000;
+  let t1 = w.core_cycles.(th.core) in
+  Alcotest.(check bool) "charged at least the cost" true (t1 - t0 >= 1000);
+  (* a second entry on the same (only) core continues the chain *)
+  Appkit.serial_enter ctx s ~cost:1000;
+  Alcotest.(check bool) "chain monotone" true (s.until >= t1 + 1000)
+
+let test_charge_work_jitter_bounded () =
+  let w = K23_userland.Sim.create_world () in
+  K23_apps.Coreutils.register_all w;
+  let p = K23_userland.Sim.run_to_exit w ~path:"/bin/pwd" () in
+  let th = List.hd p.threads in
+  let ctx = { K23_kernel.Kern.world = w; thread = th } in
+  for _ = 1 to 50 do
+    let before = w.core_cycles.(th.core) in
+    Appkit.charge_work ctx 10_000;
+    let d = w.core_cycles.(th.core) - before in
+    Alcotest.(check bool) "within +2% band" true (d >= 10_000 && d <= 10_200)
+  done
+
+let tests =
+  ( "cost model",
+    [
+      Alcotest.test_case "instruction costs" `Quick test_insn_costs;
+      Alcotest.test_case "calibration constants" `Quick test_cost_ratios_documented;
+      Alcotest.test_case "serial chain" `Quick test_serial_chain;
+      Alcotest.test_case "work jitter bounded" `Quick test_charge_work_jitter_bounded;
+    ] )

@@ -1,0 +1,56 @@
+(* Evaluation-harness sanity: the headline shapes of Tables 2 and 5
+   must hold on every test run (full repetitions live in bench/). *)
+
+module Micro = K23_eval.Micro
+module Mech = K23_eval.Mech
+module OC = K23_eval.Offline_counts
+
+let overhead mech = (Micro.overhead_row ~runs:2 mech).Micro.overhead
+
+let test_table5_ordering () =
+  let zp = overhead Mech.Zpoline_default in
+  let zpu = overhead Mech.Zpoline_ultra in
+  let k23 = overhead Mech.K23_default in
+  let lp = overhead Mech.Lazypoline in
+  let k23u = overhead Mech.K23_ultra in
+  let sud_off = overhead Mech.Sud_no_interposition in
+  let sud = overhead Mech.Sud in
+  let checks =
+    [
+      ("zpoline is fastest", zp < k23);
+      ("zpoline-ultra costs more than default", zpu > zp);
+      ("K23-default beats lazypoline", k23 < lp);
+      ("K23-ultra adds the hash-set check", k23u > k23);
+      ("armed SUD slows even uninterposed syscalls", sud_off > 1.15 && sud_off < 1.35);
+      ("SUD interposition is an order of magnitude", sud > 10.0);
+      ("rewriting stays under 1.5x", k23u < 1.5 && lp < 1.5 && zpu < 1.5);
+    ]
+  in
+  List.iter (fun (msg, ok) -> Alcotest.(check bool) msg true ok) checks
+
+let test_table2_counts_match_paper () =
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check int) name expected (OC.coreutil_sites name))
+    OC.coreutil_expected
+
+let test_fig3_format () =
+  let log = OC.fig3 () in
+  let lines = String.split_on_char '\n' log |> List.filter (fun l -> l <> "") in
+  Alcotest.(check bool) "several entries" true (List.length lines >= 8);
+  List.iter
+    (fun line ->
+      match K23_core.Log_store.entry_of_line line with
+      | Some e ->
+        Alcotest.(check bool) "absolute region path" true (e.K23_core.Log_store.region.[0] = '/');
+        Alcotest.(check bool) "positive offset" true (e.offset > 0)
+      | None -> Alcotest.failf "unparseable log line: %s" line)
+    lines
+
+let tests =
+  ( "eval",
+    [
+      Alcotest.test_case "Table 5 ordering" `Slow test_table5_ordering;
+      Alcotest.test_case "Table 2 coreutil counts" `Slow test_table2_counts_match_paper;
+      Alcotest.test_case "Figure 3 log format" `Quick test_fig3_format;
+    ] )

@@ -1,0 +1,72 @@
+(* Threat-model (Section 3) extension: in the ultra+ variant, the
+   interposer's internal state — the SUD selector page — is protected
+   with a dedicated protection key, so application code cannot flip
+   the selector even though it shares the address space. *)
+
+open K23_kernel
+open K23_userland
+module K23 = K23_core.K23
+
+let app_path = "/bin/isapp"
+
+let app =
+  [
+    K23_isa.Asm.Label "main";
+    K23_isa.Asm.I (K23_isa.Insn.Mov_ri (RAX, Sysno.bench_nonexistent));
+    K23_isa.Asm.I K23_isa.Insn.Syscall;
+    K23_isa.Asm.I (K23_isa.Insn.Xor_rr (RDI, RDI));
+    K23_isa.Asm.Call_sym "exit";
+  ]
+
+let launch variant =
+  let w = Sim.create_world () in
+  ignore (Sim.register_app w ~path:app_path app);
+  ignore (K23.offline_run w ~path:app_path ());
+  K23.seal_logs w;
+  match K23.launch w ~variant ~path:app_path () with
+  | Error e -> Alcotest.failf "launch: %d" e
+  | Ok (p, stats) ->
+    World.run_until_exit w p;
+    Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status;
+    Alcotest.(check int) "exhaustive" p.counters.c_app stats.interposed;
+    p
+
+let selector_addr (p : Kern.proc) =
+  match Hashtbl.find_opt p.globals "k23_selector" with
+  | Some a -> a
+  | None -> Alcotest.fail "no selector symbol"
+
+let test_ultra_plus_protects_selector () =
+  let p = launch K23.Ultra_plus in
+  let sel = selector_addr p in
+  let th = List.hd p.threads in
+  (* the page carries a non-default protection key... *)
+  (match K23_machine.Memory.get_pkey p.mem sel with
+  | Some k -> Alcotest.(check bool) "pkey assigned" true (k > 0)
+  | None -> Alcotest.fail "selector unmapped");
+  (* ...and an application-level store with the thread's PKRU faults *)
+  Alcotest.check_raises "app write faults"
+    (K23_machine.Memory.Fault { fault_addr = sel; access = `Write })
+    (fun () -> K23_machine.Memory.write_u8 p.mem ~pkru:th.regs.pkru sel 0);
+  Alcotest.check_raises "app read faults too"
+    (K23_machine.Memory.Fault { fault_addr = sel; access = `Read })
+    (fun () -> ignore (K23_machine.Memory.read_u8 p.mem ~pkru:th.regs.pkru sel))
+
+let test_default_leaves_selector_writable () =
+  (* the default/ultra variants rely on the deployer's own isolation
+     choice (Section 3); without ultra+ the page stays ordinary rw *)
+  let p = launch K23.Ultra in
+  let sel = selector_addr p in
+  let th = List.hd p.threads in
+  K23_machine.Memory.write_u8 p.mem ~pkru:th.regs.pkru sel 0;
+  Alcotest.(check int) "plain write went through" 0
+    (K23_machine.Memory.read_u8 p.mem ~pkru:th.regs.pkru sel)
+
+let tests =
+  ( "internal-state protection (Section 3)",
+    [
+      Alcotest.test_case "ultra+ PKU-protects the selector" `Quick
+        test_ultra_plus_protects_selector;
+      Alcotest.test_case "default variant leaves it to the deployer" `Quick
+        test_default_leaves_selector_writable;
+    ] )

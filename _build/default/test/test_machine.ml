@@ -1,0 +1,225 @@
+(* Machine-layer tests: memory, PKU/XOM, I-cache, CPU semantics. *)
+
+open K23_machine
+open K23_isa
+
+(* ---------------- memory ---------------- *)
+
+let test_map_read_write () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_u8_raw m 0x1234 0xab;
+  Alcotest.(check int) "byte" 0xab (Memory.read_u8_raw m 0x1234);
+  Memory.write_u64_raw m 0x1100 0xdeadbeef;
+  Alcotest.(check int) "u64" 0xdeadbeef (Memory.read_u64_raw m 0x1100)
+
+let test_unmapped_faults () =
+  let m = Memory.create () in
+  Alcotest.check_raises "read fault"
+    (Memory.Fault { fault_addr = 0x9000; access = `Read })
+    (fun () -> ignore (Memory.read_u8_raw m 0x9000))
+
+let test_perm_checks () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_r;
+  Alcotest.(check int) "read ok" 0 (Memory.read_u8 m ~pkru:0 0x1000);
+  Alcotest.check_raises "write faults"
+    (Memory.Fault { fault_addr = 0x1000; access = `Write })
+    (fun () -> Memory.write_u8 m ~pkru:0 0x1000 1);
+  Memory.set_perm m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_u8 m ~pkru:0 0x1000 1;
+  Alcotest.(check int) "after mprotect" 1 (Memory.read_u8 m ~pkru:0 0x1000)
+
+(* XOM via PKU: data reads blocked, instruction fetch allowed — the
+   property both trampolines rely on (and the hole of P4a). *)
+let test_pku_xom () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0 ~len:4096 ~perm:Memory.perm_rx ~pkey:1;
+  let pkru = 1 lsl 2 (* AD for key 1 *) in
+  Alcotest.check_raises "PKU blocks data read"
+    (Memory.Fault { fault_addr = 0; access = `Read })
+    (fun () -> ignore (Memory.read_u8 m ~pkru 0));
+  (* fetch is NOT blocked by PKU *)
+  Alcotest.(check int) "fetch allowed" 0 (Memory.fetch_u8 m 0)
+
+let test_fetch_needs_exec () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Alcotest.check_raises "NX fetch faults"
+    (Memory.Fault { fault_addr = 0x1000; access = `Exec })
+    (fun () -> ignore (Memory.fetch_u8 m 0x1000))
+
+let test_clone_is_deep () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_u8_raw m 0x1000 7;
+  let c = Memory.clone m in
+  Memory.write_u8_raw m 0x1000 9;
+  Alcotest.(check int) "clone unaffected" 7 (Memory.read_u8_raw c 0x1000)
+
+let test_cstr_roundtrip () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_cstr m 0x1500 "hello";
+  Alcotest.(check string) "cstr" "hello" (Memory.read_cstr m 0x1500)
+
+let test_reservation_accounting () =
+  let m = Memory.create () in
+  Memory.reserve m ~len:(1 lsl 45);
+  Alcotest.(check int) "reserved" (1 lsl 45) m.reserved_bytes;
+  Alcotest.(check int) "not committed" 0 m.committed_bytes
+
+let prop_memory_bytes =
+  QCheck.Test.make ~name:"memory: write/read byte roundtrip" ~count:500
+    QCheck.(pair (int_range 0 4095) (int_range 0 255))
+    (fun (off, v) ->
+      let m = Memory.create () in
+      Memory.map m ~addr:0x2000 ~len:4096 ~perm:Memory.perm_rw;
+      Memory.write_u8_raw m (0x2000 + off) v;
+      Memory.read_u8_raw m (0x2000 + off) = v)
+
+(* ---------------- icache ---------------- *)
+
+let test_icache_caches_stale () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
+  Memory.write_u8_raw m 0x1000 0x90;
+  let ic = Icache.create () in
+  Alcotest.(check int) "first fetch" 0x90 (Icache.fetch_u8 ic m 0x1000);
+  (* an uncoordinated raw write is invisible through the cache *)
+  Memory.write_u8_raw m 0x1000 0xc3;
+  Alcotest.(check int) "stale without invalidate" 0x90 (Icache.fetch_u8 ic m 0x1000);
+  Icache.invalidate_range ic ~addr:0x1000 ~len:1;
+  Alcotest.(check int) "fresh after invalidate" 0xc3 (Icache.fetch_u8 ic m 0x1000)
+
+let test_icache_flush () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
+  let ic = Icache.create () in
+  ignore (Icache.fetch_u8 ic m 0x1040);
+  Alcotest.(check bool) "holds" true (Icache.holds ic 0x1040);
+  Icache.flush ic;
+  Alcotest.(check bool) "flushed" false (Icache.holds ic 0x1040)
+
+(* ---------------- cpu ---------------- *)
+
+let exec_prog ?(steps = 100) insns =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
+  Memory.map m ~addr:0x8000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_bytes_raw m 0x1000 (Encode.assemble insns);
+  let regs = Regs.create () in
+  regs.rip <- 0x1000;
+  Regs.set regs RSP 0x8800;
+  let ic = Icache.create () in
+  let trap = ref None in
+  (try
+     for _ = 1 to steps do
+       match Cpu.step regs m ic with
+       | Cpu.Stepped _ -> ()
+       | Cpu.Trapped (t, _) ->
+         trap := Some t;
+         raise Exit
+     done
+   with Exit -> ());
+  (regs, !trap)
+
+let test_arith_flags () =
+  let regs, _ =
+    exec_prog [ Mov_ri (RAX, 5); Sub_ri (RAX, 5); Hlt ]
+  in
+  Alcotest.(check bool) "zf set" true regs.zf;
+  Alcotest.(check int) "rax zero" 0 (Regs.get regs RAX)
+
+let test_branching () =
+  let regs, _ =
+    exec_prog
+      [ Mov_ri (RAX, 3); Cmp_ri (RAX, 3); Jcc (Z, 11); Mov_ri (RBX, 111); Hlt; Mov_ri (RBX, 222); Hlt ]
+  in
+  (* jz +11 skips the 10-byte mov rbx,111 and the hlt *)
+  Alcotest.(check int) "took branch" 222 (Regs.get regs RBX)
+
+let test_push_pop_call_ret () =
+  let regs, _ =
+    exec_prog
+      [
+        Mov_ri (RAX, 42);
+        Push RAX;
+        Mov_ri (RAX, 0);
+        Pop RBX;
+        Call_rel 1; (* call next+1: skips the hlt below? no: call jumps forward 1 byte *)
+        Hlt;
+        Mov_ri (RCX, 7);
+        Hlt;
+      ]
+  in
+  Alcotest.(check int) "pop" 42 (Regs.get regs RBX);
+  Alcotest.(check int) "call target ran" 7 (Regs.get regs RCX)
+
+let test_syscall_clobbers () =
+  (* x86-64: syscall sets rcx to the next rip and clobbers r11 — the
+     behaviour K23's trampoline exploits *)
+  let regs, trap = exec_prog [ Mov_ri (RAX, 39); Syscall; Hlt ] in
+  (match trap with
+  | Some (Cpu.Syscall_trap { site; kind = `Syscall }) ->
+    Alcotest.(check int) "site" (0x1000 + 10) site;
+    Alcotest.(check int) "rcx = next rip" (0x1000 + 12) (Regs.get regs RCX)
+  | _ -> Alcotest.fail "expected syscall trap");
+  Alcotest.(check int) "rip advanced" (0x1000 + 12) regs.rip
+
+let test_vcall_trap () =
+  let _, trap = exec_prog [ Vcall 5 ] in
+  match trap with
+  | Some (Cpu.Vcall_trap 5) -> ()
+  | _ -> Alcotest.fail "expected vcall trap"
+
+let test_ud_on_garbage () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
+  Memory.write_u8_raw m 0x1000 0xfe (* not a valid first byte *);
+  let regs = Regs.create () in
+  regs.rip <- 0x1000;
+  let ic = Icache.create () in
+  match Cpu.step regs m ic with
+  | Cpu.Trapped (Cpu.Ud_trap 0x1000, _) -> ()
+  | _ -> Alcotest.fail "expected #UD"
+
+(* torn lazypoline bytes decode to #UD: the P5 crash mechanism *)
+let test_torn_rewrite_is_ud () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
+  (* original syscall, first byte already rewritten: ff 05 *)
+  Memory.write_bytes_raw m 0x1000 (Bytes.of_string "\xff\x05");
+  let regs = Regs.create () in
+  regs.rip <- 0x1000;
+  match Cpu.step regs m (Icache.create ()) with
+  | Cpu.Trapped (Cpu.Ud_trap _, _) -> ()
+  | _ -> Alcotest.fail "torn bytes must fault"
+
+let test_wrpkru () =
+  let regs, _ = exec_prog [ Mov_ri (RAX, 0xc); Wrpkru; Hlt ] in
+  Alcotest.(check int) "pkru loaded" 0xc regs.pkru
+
+let tests =
+  ( "machine",
+    [
+      Alcotest.test_case "map/read/write" `Quick test_map_read_write;
+      Alcotest.test_case "unmapped faults" `Quick test_unmapped_faults;
+      Alcotest.test_case "permission checks" `Quick test_perm_checks;
+      Alcotest.test_case "PKU XOM (fetch allowed, read blocked)" `Quick test_pku_xom;
+      Alcotest.test_case "NX fetch faults" `Quick test_fetch_needs_exec;
+      Alcotest.test_case "clone is deep" `Quick test_clone_is_deep;
+      Alcotest.test_case "cstr roundtrip" `Quick test_cstr_roundtrip;
+      Alcotest.test_case "MAP_NORESERVE accounting" `Quick test_reservation_accounting;
+      QCheck_alcotest.to_alcotest prop_memory_bytes;
+      Alcotest.test_case "icache serves stale lines" `Quick test_icache_caches_stale;
+      Alcotest.test_case "icache flush" `Quick test_icache_flush;
+      Alcotest.test_case "arithmetic flags" `Quick test_arith_flags;
+      Alcotest.test_case "conditional branch" `Quick test_branching;
+      Alcotest.test_case "push/pop/call/ret" `Quick test_push_pop_call_ret;
+      Alcotest.test_case "syscall clobbers rcx/r11" `Quick test_syscall_clobbers;
+      Alcotest.test_case "vcall trap" `Quick test_vcall_trap;
+      Alcotest.test_case "#UD on garbage" `Quick test_ud_on_garbage;
+      Alcotest.test_case "torn rewrite is #UD (P5)" `Quick test_torn_rewrite_is_ud;
+      Alcotest.test_case "wrpkru" `Quick test_wrpkru;
+    ] )

@@ -1,0 +1,23 @@
+(* The pitfall matrix: every (system, pitfall) verdict must reproduce
+   the paper's Table 3 exactly. *)
+
+module H = K23_pitfalls.Harness
+
+let check_cell sys pf () =
+  let v = H.check sys pf in
+  let expected = H.paper_expectation sys pf in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s under %s (%s)" (H.pitfall_to_string pf) (H.system_to_string sys) v.detail)
+    expected v.handled
+
+let tests =
+  ( "pitfalls (Table 3)",
+    List.concat_map
+      (fun pf ->
+        List.map
+          (fun sys ->
+            Alcotest.test_case
+              (Printf.sprintf "%s / %s" (H.pitfall_to_string pf) (H.system_to_string sys))
+              `Quick (check_cell sys pf))
+          H.all_systems)
+      H.all_pitfalls )

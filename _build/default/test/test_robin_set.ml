@@ -1,0 +1,97 @@
+(* Robin-Hood hash set: unit tests + model-based qcheck against a
+   reference implementation. *)
+
+module R = K23_core.Robin_set
+
+let test_basic () =
+  let t = R.create () in
+  Alcotest.(check bool) "empty" false (R.mem t 42);
+  R.add t 42;
+  Alcotest.(check bool) "mem" true (R.mem t 42);
+  Alcotest.(check int) "card" 1 (R.cardinal t);
+  R.add t 42;
+  Alcotest.(check int) "idempotent add" 1 (R.cardinal t);
+  Alcotest.(check bool) "remove" true (R.remove t 42);
+  Alcotest.(check bool) "gone" false (R.mem t 42);
+  Alcotest.(check bool) "remove missing" false (R.remove t 42)
+
+let test_grows () =
+  let t = R.create ~capacity:8 () in
+  for i = 0 to 999 do
+    R.add t (i * 7919)
+  done;
+  Alcotest.(check int) "cardinal" 1000 (R.cardinal t);
+  for i = 0 to 999 do
+    Alcotest.(check bool) (Printf.sprintf "mem %d" i) true (R.mem t (i * 7919))
+  done;
+  Alcotest.(check bool) "load factor <= 0.75" true
+    (R.cardinal t * 4 <= R.capacity t * 3)
+
+let test_clustered_keys () =
+  (* syscall sites are page-base + small offsets: heavy clustering *)
+  let t = R.create () in
+  let keys = List.init 200 (fun i -> 0x7f0000_0000 + (i * 2)) in
+  List.iter (R.add t) keys;
+  List.iter (fun k -> Alcotest.(check bool) "clustered mem" true (R.mem t k)) keys;
+  Alcotest.(check bool) "near miss" false (R.mem t (0x7f0000_0000 + 401))
+
+let test_to_list_sorted () =
+  let t = R.of_list [ 5; 3; 9; 3; 1 ] in
+  Alcotest.(check (list int)) "sorted uniq" [ 1; 3; 5; 9 ] (R.to_list t)
+
+let test_memory_bytes_small () =
+  let t = R.of_list (List.init 92 (fun i -> i * 1000)) in
+  (* Table 2's biggest log (redis, 92 sites) still needs ~1-2 KiB *)
+  Alcotest.(check bool) "small footprint" true (R.memory_bytes t < 4096)
+
+(* model-based: random add/remove/mem sequences agree with Hashtbl *)
+let prop_model =
+  let open QCheck in
+  let op =
+    Gen.oneof
+      [
+        Gen.map (fun k -> `Add k) (Gen.int_range 0 200);
+        Gen.map (fun k -> `Remove k) (Gen.int_range 0 200);
+        Gen.map (fun k -> `Mem k) (Gen.int_range 0 200);
+      ]
+  in
+  Test.make ~name:"robin_set agrees with Hashtbl model" ~count:1000
+    (make Gen.(list_size (int_range 0 200) op))
+    (fun ops ->
+      let t = R.create () in
+      let model = Hashtbl.create 64 in
+      List.for_all
+        (function
+          | `Add k ->
+            R.add t k;
+            Hashtbl.replace model k ();
+            R.cardinal t = Hashtbl.length model
+          | `Remove k ->
+            let was = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            R.remove t k = was && R.cardinal t = Hashtbl.length model
+          | `Mem k -> R.mem t k = Hashtbl.mem model k)
+        ops)
+
+(* invariant: after any add sequence, every inserted key is found and
+   no others are *)
+let prop_complete =
+  let open QCheck in
+  Test.make ~name:"robin_set completeness" ~count:500
+    (make Gen.(list_size (int_range 0 100) (int_range 0 1_000_000)))
+    (fun keys ->
+      let t = R.of_list keys in
+      List.for_all (R.mem t) keys
+      && R.cardinal t = List.length (List.sort_uniq compare keys))
+
+let tests =
+  ( "robin_set",
+    [
+      Alcotest.test_case "basic ops" `Quick test_basic;
+      Alcotest.test_case "growth under load" `Quick test_grows;
+      Alcotest.test_case "clustered keys (syscall sites)" `Quick test_clustered_keys;
+      Alcotest.test_case "to_list" `Quick test_to_list_sorted;
+      Alcotest.test_case "memory footprint (P4b)" `Quick test_memory_bytes_small;
+      QCheck_alcotest.to_alcotest prop_model;
+      QCheck_alcotest.to_alcotest prop_complete;
+    ] )

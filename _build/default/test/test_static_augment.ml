@@ -1,0 +1,66 @@
+(* The static-augmentation future-work prototype (Section 7): it buys
+   fast-path coverage without representative inputs, and it re-imports
+   exactly the misidentification risk (P3a) the offline phase was
+   designed to avoid — both directions demonstrated. *)
+
+open K23_kernel
+open K23_userland
+module K23 = K23_core.K23
+module I = K23_interpose.Interpose
+
+(* benefit: a program with NO dynamic offline run still gets most of
+   its syscalls onto the rewritten fast path *)
+let test_augmentation_widens_fast_path () =
+  let w = Sim.create_world () in
+  ignore (Sim.register_app w ~path:K23_eval.Micro.app_path (K23_eval.Micro.app_items 100));
+  let added = K23.offline_augment_static w ~path:K23_eval.Micro.app_path () in
+  Alcotest.(check bool) "sweep found sites" true (added > 10);
+  K23.seal_logs w;
+  match K23.launch w ~variant:K23.Default ~path:K23_eval.Micro.app_path () with
+  | Error e -> Alcotest.failf "launch: %d" e
+  | Ok (p, stats) ->
+    World.run_until_exit w p;
+    Alcotest.(check (option int)) "exit 0" (Some 0) p.exit_status;
+    Alcotest.(check int) "still exhaustive" p.counters.c_app stats.interposed;
+    Alcotest.(check bool)
+      (Printf.sprintf "fast path dominates with no dynamic run (%d rw / %d sigsys)"
+         stats.via_rewrite stats.via_sigsys)
+      true
+      (stats.via_rewrite > stats.via_sigsys)
+
+(* risk: on a binary with data embedded in text (the P3a PoC), the
+   augmented logs contain a data "site" whose bytes genuinely encode
+   [0f 05]; libK23's byte validation passes and the data is corrupted —
+   K23 degrades to zpoline's behaviour.  This is why the paper leaves
+   static augmentation as future work gated on better analyses. *)
+let test_augmentation_reintroduces_p3a () =
+  let w = Sim.create_world () in
+  K23_pitfalls.Pocs.register_all w;
+  ignore (K23.offline_augment_static w ~path:K23_pitfalls.Pocs.p3a_path ());
+  K23.seal_logs w;
+  match K23.launch w ~variant:K23.Default ~path:K23_pitfalls.Pocs.p3a_path () with
+  | Error e -> Alcotest.failf "launch: %d" e
+  | Ok (p, _) ->
+    World.run_until_exit w p;
+    Alcotest.(check (option int))
+      "embedded data corrupted (exit 1): the P3a risk is back" (Some 1) p.exit_status
+
+(* control: the paper's dynamic-only offline phase keeps P3a handled *)
+let test_dynamic_only_stays_safe () =
+  let w = Sim.create_world () in
+  K23_pitfalls.Pocs.register_all w;
+  ignore (K23.offline_run w ~path:K23_pitfalls.Pocs.p3a_path ());
+  K23.seal_logs w;
+  match K23.launch w ~variant:K23.Default ~path:K23_pitfalls.Pocs.p3a_path () with
+  | Error e -> Alcotest.failf "launch: %d" e
+  | Ok (p, _) ->
+    World.run_until_exit w p;
+    Alcotest.(check (option int)) "embedded data intact" (Some 0) p.exit_status
+
+let tests =
+  ( "static augmentation (future work)",
+    [
+      Alcotest.test_case "widens the fast path" `Quick test_augmentation_widens_fast_path;
+      Alcotest.test_case "re-imports P3a" `Quick test_augmentation_reintroduces_p3a;
+      Alcotest.test_case "dynamic-only control stays safe" `Quick test_dynamic_only_stays_safe;
+    ] )
