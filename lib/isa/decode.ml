@@ -134,3 +134,20 @@ let decode (fetch : fetch) pos : (Insn.t * int, error) result =
 let decode_bytes (b : Bytes.t) pos =
   let fetch i = if i < 0 || i >= Bytes.length b then raise Exit else Char.code (Bytes.get b i) in
   try decode fetch pos with Exit -> Error `Invalid
+
+(** [decode_in b ~base pos] decodes at absolute address [pos] reading
+    only the buffer [b], which holds the bytes of
+    [base, base + length b).  Returns [None] when the decode attempt
+    reads outside the buffer — the caller must then fall back to a
+    fetch that can cross the boundary.  Unlike {!decode_bytes}, an
+    out-of-range read is {e not} folded into [`Invalid]: whether the
+    bytes past the boundary form a valid instruction is precisely what
+    this function cannot know.  This is the primitive behind the
+    I-cache's per-line predecode (see Icache). *)
+let decode_in (b : Bytes.t) ~base pos =
+  let len = Bytes.length b in
+  let fetch a =
+    let i = a - base in
+    if i < 0 || i >= len then raise_notrace Exit else Char.code (Bytes.unsafe_get b i)
+  in
+  match decode fetch pos with r -> Some r | exception Exit -> None

@@ -16,3 +16,10 @@ val decode : fetch -> int -> (Insn.t * int, error) result
 
 val decode_bytes : Bytes.t -> int -> (Insn.t * int, error) result
 (** Convenience over a buffer; out-of-range reads are [`Invalid]. *)
+
+val decode_in : Bytes.t -> base:int -> int -> (Insn.t * int, error) result option
+(** [decode_in b ~base pos] decodes at absolute address [pos] using
+    only the bytes of [b] (covering [base, base + length b)); [None]
+    when the decode attempt reads outside the buffer, in which case
+    the caller must re-decode through a boundary-crossing fetch.  The
+    primitive behind the I-cache's per-line predecode. *)

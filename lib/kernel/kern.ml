@@ -406,7 +406,13 @@ let charge (w : world) (th : thread) cycles = w.core_cycles.(th.core) <- w.core_
     does NOT give you is atomicity of multi-byte cross-modifying
     writes; that requires stopping the other cores or an
     instruction-stream serialisation protocol, which lazypoline
-    lacks. *)
+    lacks.
+
+    The per-line invalidation also drops each line's predecode memo
+    (the memo lives inside the line, see {!Icache.fetch_decode}), so a
+    barriered code write is re-decoded by every core on its next fetch
+    — the predecode layer snoops on exactly the same events as the
+    byte cache. *)
 let code_write_barrier (w : world) ~addr ~len =
   Array.iter (fun ic -> Icache.invalidate_range ic ~addr ~len) w.icaches
 

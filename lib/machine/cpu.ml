@@ -36,9 +36,8 @@ let set_flags (regs : Regs.t) result =
 let flags_to_int (regs : Regs.t) = (if regs.zf then 0x40 else 0) lor if regs.sf then 0x80 else 0
 
 let step ?(cost = Cost.default) (regs : Regs.t) (mem : Memory.t) (icache : Icache.t) : outcome =
-  let fetch addr = Icache.fetch_u8 icache mem addr in
   let pc = regs.rip in
-  match (try Decode.decode fetch pc with Memory.Fault f -> raise_notrace (Memory.Fault f)) with
+  match Icache.fetch_decode icache mem pc with
   | exception Memory.Fault f -> Trapped (Fault_trap f, 1)
   | Error `Invalid -> Trapped (Ud_trap pc, 1)
   | Ok (insn, len) -> (

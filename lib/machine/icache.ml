@@ -1,4 +1,4 @@
-(** Per-core instruction cache model.
+(** Per-core instruction cache model, with a predecode layer.
 
     Each core caches 64-byte lines on first fetch.  Lines are dropped
     when
@@ -15,44 +15,132 @@
     Real hardware adds a second failure mode — already-decoded stale
     micro-ops absent explicit serialisation — which is UB and
     timing-dependent; we model the deterministic torn-write half and
-    document the serialisation half (see DESIGN.md). *)
+    document the serialisation half (see DESIGN.md).
+
+    {2 Predecode}
+
+    On top of the byte cache, each line lazily memoises decode results
+    per entry offset ({!fetch_decode}), so the simulator's
+    fetch-decode-execute loop decodes each (line, offset) pair once
+    instead of re-decoding byte-by-byte every step.  The memo is part
+    of the line: it is dropped on exactly the events that drop the
+    line's bytes, so stale-I-cache behaviour (P3b) and torn-write
+    behaviour (P5) are bit-for-bit those of the byte model.  Entries
+    are keyed by offset, so jumping into the middle of an instruction
+    still decodes the *different* overlapping instruction at that
+    offset (the P2a/P3a root cause).  An instruction whose decode
+    reads past the end of its line is never memoised: its bytes span
+    two lines with independent lifetimes, and it takes the
+    byte-by-byte path instead (see DESIGN.md §"Simulator performance
+    architecture"). *)
+
+open K23_isa
 
 let line_size = 64
 
-type t = { lines : (int, Bytes.t) Hashtbl.t }
+type line = {
+  bytes : Bytes.t;
+  decoded : (Insn.t * int, Decode.error) result option array;
+      (** memoised decode per entry offset; only for instructions whose
+          decode stayed within this line *)
+}
 
-let create () = { lines = Hashtbl.create 256 }
+type t = {
+  lines : (int, line) Hashtbl.t;
+  mutable last_base : int;
+      (** one-entry line lookaside: base of [last_line], or [min_int].
+          Straight-line execution touches the hashtable only on line
+          crossings. *)
+  mutable last_line : line;
+}
+
+(* Shared placeholder behind an empty [last_base]; never read because
+   every access guards on [last_base]. *)
+let no_line = { bytes = Bytes.empty; decoded = [||] }
+
+let predecode = ref true
+
+let set_predecode on = predecode := on
+
+let predecode_enabled () = !predecode
+
+let create () = { lines = Hashtbl.create 256; last_base = min_int; last_line = no_line }
 
 let line_base addr = addr land lnot (line_size - 1)
+
+(* Line holding [addr], filling from memory on miss (checking execute
+   permission on the fill, at the faulting address). *)
+let get_line t (mem : Memory.t) addr =
+  let base = line_base addr in
+  if t.last_base = base then t.last_line
+  else
+    match Hashtbl.find_opt t.lines base with
+    | Some line ->
+      t.last_base <- base;
+      t.last_line <- line;
+      line
+    | None ->
+      Memory.check_exec mem addr;
+      let bytes = Bytes.create line_size in
+      for i = 0 to line_size - 1 do
+        let b = try Memory.read_u8_raw mem (base + i) with Memory.Fault _ -> 0 in
+        Bytes.set bytes i (Char.chr b)
+      done;
+      let line = { bytes; decoded = Array.make line_size None } in
+      Hashtbl.replace t.lines base line;
+      t.last_base <- base;
+      t.last_line <- line;
+      line
 
 (** Fetch one instruction byte through the cache.  Fills the line from
     memory on miss (checking execute permission on the fill). *)
 let fetch_u8 t (mem : Memory.t) addr =
-  let base = line_base addr in
-  match Hashtbl.find_opt t.lines base with
-  | Some line -> Char.code (Bytes.get line (addr - base))
-  | None ->
-    Memory.check_exec mem addr;
-    let line = Bytes.create line_size in
-    for i = 0 to line_size - 1 do
-      let b = try Memory.read_u8_raw mem (base + i) with Memory.Fault _ -> 0 in
-      Bytes.set line i (Char.chr b)
-    done;
-    Hashtbl.replace t.lines base line;
-    Char.code (Bytes.get line (addr - base))
+  let line = get_line t mem addr in
+  Char.code (Bytes.get line.bytes (addr - line_base addr))
+
+(** Fetch and decode the instruction at [addr] through the cache.
+    With predecode on, serves/fills the line's per-offset memo;
+    instructions straddling the line boundary (and all fetches with
+    predecode off) re-decode byte-by-byte through {!fetch_u8}.  Either
+    path sees exactly the cached bytes the byte model would serve.
+    @raise Memory.Fault as {!fetch_u8} (NX / unmapped fill). *)
+let fetch_decode t (mem : Memory.t) addr =
+  if not !predecode then Decode.decode (fun a -> fetch_u8 t mem a) addr
+  else
+    let line = get_line t mem addr in
+    let off = addr - line_base addr in
+    match Array.unsafe_get line.decoded off with
+    | Some r -> r
+    | None -> (
+      match Decode.decode_in line.bytes ~base:(addr - off) addr with
+      | Some r ->
+        Array.unsafe_set line.decoded off (Some r);
+        r
+      | None ->
+        (* straddles into the next line, whose lifetime is independent
+           of this one's — decode through the byte path, uncached *)
+        Decode.decode (fun a -> fetch_u8 t mem a) addr)
 
 (** Invalidate all lines overlapping [addr, addr+len): models the
-    self-snoop a core performs on its own stores. *)
+    self-snoop a core performs on its own stores.  Drops the lines'
+    predecode memos with them. *)
 let invalidate_range t ~addr ~len =
   let first = line_base addr and last = line_base (addr + len - 1) in
   let b = ref first in
   while !b <= last do
     Hashtbl.remove t.lines !b;
     b := !b + line_size
-  done
+  done;
+  if t.last_base >= first && t.last_base <= last then begin
+    t.last_base <- min_int;
+    t.last_line <- no_line
+  end
 
 (** Full flush: serialising instruction executed. *)
-let flush t = Hashtbl.reset t.lines
+let flush t =
+  Hashtbl.reset t.lines;
+  t.last_base <- min_int;
+  t.last_line <- no_line
 
 (** True when the cache currently holds a (possibly stale) copy of the
     line containing [addr]; used by tests. *)

@@ -1,10 +1,15 @@
-(** Per-core instruction cache (64-byte lines).
+(** Per-core instruction cache (64-byte lines) with a predecode layer.
 
     Lines are filled on first fetch (checking execute permission) and
     dropped on self-snoop ({!invalidate_range}), serialising
     instructions ({!flush}), or a kernel cache-coherent code write
     ([Kern.code_write_barrier]).  Coherence is what exposes
-    lazypoline's torn two-byte rewrite to other cores (pitfall P5). *)
+    lazypoline's torn two-byte rewrite to other cores (pitfall P5).
+
+    {!fetch_decode} additionally memoises decode results per
+    (line, entry-offset); the memo shares the line's lifetime, so
+    stale-cache (P3b) and torn-write (P5) semantics are bit-for-bit
+    those of byte-by-byte decoding. *)
 
 val line_size : int
 
@@ -16,6 +21,20 @@ val fetch_u8 : t -> Memory.t -> int -> int
 (** Fetch one instruction byte through the cache; fills the containing
     line on miss.
     @raise Memory.Fault when the line's page is not executable. *)
+
+val fetch_decode : t -> Memory.t -> int -> (K23_isa.Insn.t * int, K23_isa.Decode.error) result
+(** Fetch and decode the instruction starting at the address, serving
+    the line's predecode memo when possible.  Instructions straddling
+    a line boundary are decoded byte-by-byte and never memoised (their
+    bytes live in two lines with independent lifetimes).
+    @raise Memory.Fault as {!fetch_u8}. *)
+
+val set_predecode : bool -> unit
+(** Globally enable/disable the predecode memo (default on).  Off,
+    {!fetch_decode} decodes byte-by-byte through {!fetch_u8} — the
+    reference path the coherence tests compare against. *)
+
+val predecode_enabled : unit -> bool
 
 val invalidate_range : t -> addr:int -> len:int -> unit
 val flush : t -> unit

@@ -47,9 +47,44 @@ type t = {
       (** virtual reservations including MAP_NORESERVE-style mappings
           that never allocate pages (zpoline's full-address-space
           bitmap); the basis of the P4b memory-overhead measurement *)
+  (* One-entry data-TLBs: the last (page_index, page) pair seen per
+     access kind, so the hot word-access paths skip the hashtable.
+     They cache only the index->page *binding* — permissions are
+     re-read from the page record on every access (set_perm/set_pkey
+     mutate in place), so only map/unmap, which replace or drop page
+     records, must flush them. *)
+  mutable tlb_r_idx : int;
+  mutable tlb_r_pg : page;
+  mutable tlb_w_idx : int;
+  mutable tlb_w_pg : page;
+  mutable tlb_raw_idx : int;
+  mutable tlb_raw_pg : page;
 }
 
-let create () = { pages = Hashtbl.create 1024; committed_bytes = 0; reserved_bytes = 0 }
+(* Placeholder behind an empty TLB slot (idx = -1, never a real page
+   index since addresses shift right logically). *)
+let no_page = { bytes = Bytes.empty; perm = perm_none; pkey = 0 }
+
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    committed_bytes = 0;
+    reserved_bytes = 0;
+    tlb_r_idx = -1;
+    tlb_r_pg = no_page;
+    tlb_w_idx = -1;
+    tlb_w_pg = no_page;
+    tlb_raw_idx = -1;
+    tlb_raw_pg = no_page;
+  }
+
+let tlb_flush t =
+  t.tlb_r_idx <- -1;
+  t.tlb_r_pg <- no_page;
+  t.tlb_w_idx <- -1;
+  t.tlb_w_pg <- no_page;
+  t.tlb_raw_idx <- -1;
+  t.tlb_raw_pg <- no_page
 
 let page_index addr = addr lsr page_shift
 
@@ -73,23 +108,28 @@ let map ?(pkey = 0) t ~addr ~len ~perm =
     if not (Hashtbl.mem t.pages idx) then t.committed_bytes <- t.committed_bytes + page_size;
     Hashtbl.replace t.pages idx { bytes = Bytes.make page_size '\000'; perm; pkey }
   done;
-  t.reserved_bytes <- t.reserved_bytes + (npages * page_size)
+  t.reserved_bytes <- t.reserved_bytes + (npages * page_size);
+  tlb_flush t
 
 (** Record a virtual-only reservation (MAP_NORESERVE): no pages are
     committed, but the reservation is accounted, so the P4b bench can
     compare zpoline's 2^48-bit bitmap against K23's hash set. *)
 let reserve t ~len = t.reserved_bytes <- t.reserved_bytes + len
 
+(* Only pages actually present are uncommitted/unreserved: unmapping
+   an unmapped (or partially mapped) range is a no-op for the missing
+   pages, as with munmap, rather than driving the counters negative. *)
 let unmap t ~addr ~len =
   let npages = (align_up len) lsr page_shift in
   for i = 0 to npages - 1 do
     let idx = page_index addr + i in
     if Hashtbl.mem t.pages idx then begin
       Hashtbl.remove t.pages idx;
-      t.committed_bytes <- t.committed_bytes - page_size
+      t.committed_bytes <- t.committed_bytes - page_size;
+      t.reserved_bytes <- t.reserved_bytes - page_size
     end
   done;
-  t.reserved_bytes <- t.reserved_bytes - (npages * page_size)
+  tlb_flush t
 
 (** mprotect: change permissions of every mapped page in range. *)
 let set_perm t ~addr ~len ~perm =
@@ -114,15 +154,24 @@ let get_pkey t addr = Option.map (fun p -> p.pkey) (find_page t addr)
 (* ------------------------------------------------------------------ *)
 (* Raw (kernel-view) access                                            *)
 
+let[@inline] lookup_raw t addr (access : access) =
+  let idx = addr lsr page_shift in
+  if t.tlb_raw_idx = idx then t.tlb_raw_pg
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+      t.tlb_raw_idx <- idx;
+      t.tlb_raw_pg <- p;
+      p
+    | None -> raise (Fault { fault_addr = addr; access })
+
 let read_u8_raw t addr =
-  match find_page t addr with
-  | None -> raise (Fault { fault_addr = addr; access = `Read })
-  | Some p -> Char.code (Bytes.get p.bytes (addr land (page_size - 1)))
+  let p = lookup_raw t addr `Read in
+  Char.code (Bytes.get p.bytes (addr land (page_size - 1)))
 
 let write_u8_raw t addr v =
-  match find_page t addr with
-  | None -> raise (Fault { fault_addr = addr; access = `Write })
-  | Some p -> Bytes.set p.bytes (addr land (page_size - 1)) (Char.chr (v land 0xff))
+  let p = lookup_raw t addr `Write in
+  Bytes.set p.bytes (addr land (page_size - 1)) (Char.chr (v land 0xff))
 
 let read_bytes_raw t addr len =
   let out = Bytes.create len in
@@ -134,14 +183,33 @@ let read_bytes_raw t addr len =
 let write_bytes_raw t addr b =
   Bytes.iteri (fun i c -> write_u8_raw t (addr + i) (Char.code c)) b
 
+(* Word accesses that stay within one page read/write the page buffer
+   directly; straddles fall back byte-by-byte (same per-byte fault
+   addresses as before).  The int<->int64 conversions reproduce the
+   byte-loop exactly on 63-bit ints: OCaml's [lsl]/[lsr] drop bit 63,
+   so byte 7's top bit is stored as 0 and ignored on load. *)
+let word_mask = 0x7fff_ffff_ffff_ffffL
+
 let read_u64_raw t addr =
-  let rec go i acc = if i = 8 then acc else go (i + 1) (acc lor (read_u8_raw t (addr + i) lsl (8 * i))) in
-  go 0 0
+  let off = addr land (page_size - 1) in
+  if off <= page_size - 8 then
+    let p = lookup_raw t addr `Read in
+    Int64.to_int (Bytes.get_int64_le p.bytes off)
+  else
+    let rec go i acc =
+      if i = 8 then acc else go (i + 1) (acc lor (read_u8_raw t (addr + i) lsl (8 * i)))
+    in
+    go 0 0
 
 let write_u64_raw t addr v =
-  for i = 0 to 7 do
-    write_u8_raw t (addr + i) ((v lsr (8 * i)) land 0xff)
-  done
+  let off = addr land (page_size - 1) in
+  if off <= page_size - 8 then
+    let p = lookup_raw t addr `Write in
+    Bytes.set_int64_le p.bytes off (Int64.logand (Int64.of_int v) word_mask)
+  else
+    for i = 0 to 7 do
+      write_u8_raw t (addr + i) ((v lsr (8 * i)) land 0xff)
+    done
 
 (* ------------------------------------------------------------------ *)
 (* PKRU-checked (user-view) access                                     *)
@@ -149,22 +217,46 @@ let write_u64_raw t addr v =
 let pkru_access_disabled pkru pkey = pkru land (1 lsl (2 * pkey)) <> 0
 let pkru_write_disabled pkru pkey = pkru land (1 lsl ((2 * pkey) + 1)) <> 0
 
-let check_read t ~pkru addr =
-  match find_page t addr with
-  | None -> raise (Fault { fault_addr = addr; access = `Read })
-  | Some p ->
-    if (not p.perm.r) || pkru_access_disabled pkru p.pkey then
-      raise (Fault { fault_addr = addr; access = `Read })
+(* The TLB caches only the index->page binding; the permission check
+   itself runs on every access against the page's current perm/pkey
+   and the caller's PKRU (mprotect and pkey_mprotect mutate the page
+   record in place, wrpkru changes the register — neither may be
+   cached away). *)
+let[@inline] lookup_r t ~pkru addr =
+  let idx = addr lsr page_shift in
+  let p =
+    if t.tlb_r_idx = idx then t.tlb_r_pg
+    else
+      match Hashtbl.find_opt t.pages idx with
+      | Some p ->
+        t.tlb_r_idx <- idx;
+        t.tlb_r_pg <- p;
+        p
+      | None -> raise (Fault { fault_addr = addr; access = `Read })
+  in
+  if (not p.perm.r) || pkru_access_disabled pkru p.pkey then
+    raise (Fault { fault_addr = addr; access = `Read });
+  p
 
-let check_write t ~pkru addr =
-  match find_page t addr with
-  | None -> raise (Fault { fault_addr = addr; access = `Write })
-  | Some p ->
-    if
-      (not p.perm.w)
-      || pkru_access_disabled pkru p.pkey
-      || pkru_write_disabled pkru p.pkey
-    then raise (Fault { fault_addr = addr; access = `Write })
+let[@inline] lookup_w t ~pkru addr =
+  let idx = addr lsr page_shift in
+  let p =
+    if t.tlb_w_idx = idx then t.tlb_w_pg
+    else
+      match Hashtbl.find_opt t.pages idx with
+      | Some p ->
+        t.tlb_w_idx <- idx;
+        t.tlb_w_pg <- p;
+        p
+      | None -> raise (Fault { fault_addr = addr; access = `Write })
+  in
+  if (not p.perm.w) || pkru_access_disabled pkru p.pkey || pkru_write_disabled pkru p.pkey then
+    raise (Fault { fault_addr = addr; access = `Write });
+  p
+
+let check_read t ~pkru addr = ignore (lookup_r t ~pkru addr : page)
+
+let check_write t ~pkru addr = ignore (lookup_w t ~pkru addr : page)
 
 (** Instruction fetch check: exec permission only — PKU does not apply
     to fetches (the XOM / P4a story). *)
@@ -174,24 +266,39 @@ let check_exec t addr =
   | Some p -> if not p.perm.x then raise (Fault { fault_addr = addr; access = `Exec })
 
 let read_u8 t ~pkru addr =
-  check_read t ~pkru addr;
-  read_u8_raw t addr
+  let p = lookup_r t ~pkru addr in
+  Char.code (Bytes.get p.bytes (addr land (page_size - 1)))
 
 let write_u8 t ~pkru addr v =
-  check_write t ~pkru addr;
-  write_u8_raw t addr v
+  let p = lookup_w t ~pkru addr in
+  Bytes.set p.bytes (addr land (page_size - 1)) (Char.chr (v land 0xff))
 
+(* In-page words: one page lookup (usually a TLB hit) and one
+   permission check cover all 8 bytes.  Page-straddling words keep the
+   per-byte loop so the faulting byte's address is preserved. *)
 let read_u64 t ~pkru addr =
-  for i = 0 to 7 do
-    check_read t ~pkru (addr + i)
-  done;
-  read_u64_raw t addr
+  let off = addr land (page_size - 1) in
+  if off <= page_size - 8 then
+    let p = lookup_r t ~pkru addr in
+    Int64.to_int (Bytes.get_int64_le p.bytes off)
+  else begin
+    for i = 0 to 7 do
+      check_read t ~pkru (addr + i)
+    done;
+    read_u64_raw t addr
+  end
 
 let write_u64 t ~pkru addr v =
-  for i = 0 to 7 do
-    check_write t ~pkru (addr + i)
-  done;
-  write_u64_raw t addr v
+  let off = addr land (page_size - 1) in
+  if off <= page_size - 8 then
+    let p = lookup_w t ~pkru addr in
+    Bytes.set_int64_le p.bytes off (Int64.logand (Int64.of_int v) word_mask)
+  else begin
+    for i = 0 to 7 do
+      check_write t ~pkru (addr + i)
+    done;
+    write_u64_raw t addr v
+  end
 
 let fetch_u8 t addr =
   check_exec t addr;
@@ -205,7 +312,17 @@ let clone t =
   Hashtbl.iter
     (fun idx p -> Hashtbl.replace pages idx { p with bytes = Bytes.copy p.bytes })
     t.pages;
-  { pages; committed_bytes = t.committed_bytes; reserved_bytes = t.reserved_bytes }
+  {
+    pages;
+    committed_bytes = t.committed_bytes;
+    reserved_bytes = t.reserved_bytes;
+    tlb_r_idx = -1;
+    tlb_r_pg = no_page;
+    tlb_w_idx = -1;
+    tlb_w_pg = no_page;
+    tlb_raw_idx = -1;
+    tlb_raw_pg = no_page;
+  }
 
 (** C-string helpers (argv/envp live in simulated memory so that a
     ptrace-based tracer can inspect and rewrite them). *)

@@ -35,6 +35,16 @@ type t = {
   mutable reserved_bytes : int;
       (** virtual reservations incl. MAP_NORESERVE mappings — the basis
           of the P4b memory measurement *)
+  mutable tlb_r_idx : int;
+      (** one-entry data-TLBs (read/write/raw): last (page_index, page)
+          binding per access kind, flushed on map/unmap.  Permissions
+          are never cached — each access re-checks the page record, so
+          mprotect/pkey_mprotect/wrpkru take effect immediately. *)
+  mutable tlb_r_pg : page;
+  mutable tlb_w_idx : int;
+  mutable tlb_w_pg : page;
+  mutable tlb_raw_idx : int;
+  mutable tlb_raw_pg : page;
 }
 
 and page = { bytes : Bytes.t; mutable perm : perm; mutable pkey : int }

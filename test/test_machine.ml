@@ -78,6 +78,89 @@ let prop_memory_bytes =
       Memory.write_u8_raw m (0x2000 + off) v;
       Memory.read_u8_raw m (0x2000 + off) = v)
 
+(* The single-lookup word fast path must leave the same byte image and
+   read back the same value as the definitional little-endian byte
+   loop, at every offset including page straddles. *)
+let prop_memory_u64 =
+  QCheck.Test.make ~name:"memory: u64 word path == byte loop" ~count:500
+    QCheck.(pair (int_range 0 8184) int)
+    (fun (off, v) ->
+      let m = Memory.create () in
+      Memory.map m ~addr:0x2000 ~len:8192 ~perm:Memory.perm_rw;
+      let addr = 0x2000 + off in
+      Memory.write_u64 m ~pkru:0 addr v;
+      let byte i = Memory.read_u8_raw m (addr + i) in
+      let bytes_ok = ref true in
+      for i = 0 to 7 do
+        if byte i <> (v lsr (8 * i)) land 0xff then bytes_ok := false
+      done;
+      !bytes_ok && Memory.read_u64 m ~pkru:0 addr = v && Memory.read_u64_raw m addr = v)
+
+let test_unmap_accounting () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:8192 ~perm:Memory.perm_rw;
+  Alcotest.(check int) "committed" 8192 m.committed_bytes;
+  Alcotest.(check int) "reserved" 8192 m.reserved_bytes;
+  (* the range covers two mapped and two unmapped pages: only the
+     mapped ones may be deducted *)
+  Memory.unmap m ~addr:0x0 ~len:16384;
+  Alcotest.(check int) "committed after unmap" 0 m.committed_bytes;
+  Alcotest.(check int) "reserved after unmap" 0 m.reserved_bytes;
+  (* unmapping an already-unmapped range must be a no-op, not drive
+     the counters negative *)
+  Memory.unmap m ~addr:0x0 ~len:16384;
+  Alcotest.(check int) "committed stays 0" 0 m.committed_bytes;
+  Alcotest.(check int) "reserved stays 0" 0 m.reserved_bytes
+
+let test_tlb_unmap_faults () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_u64 m ~pkru:0 0x1100 42;
+  Alcotest.(check int) "read back" 42 (Memory.read_u64 m ~pkru:0 0x1100);
+  Memory.unmap m ~addr:0x1000 ~len:4096;
+  Alcotest.check_raises "fault after unmap (TLB flushed)"
+    (Memory.Fault { fault_addr = 0x1100; access = `Read })
+    (fun () -> ignore (Memory.read_u64 m ~pkru:0 0x1100))
+
+let test_tlb_remap_fresh () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_u64 m ~pkru:0 0x1100 42;
+  ignore (Memory.read_u64 m ~pkru:0 0x1100);
+  (* MAP_FIXED remap replaces the page record: the TLB must not keep
+     serving the old one *)
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Alcotest.(check int) "fresh zeroed page" 0 (Memory.read_u64 m ~pkru:0 0x1100)
+
+let test_tlb_mprotect_immediate () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  Memory.write_u64 m ~pkru:0 0x1000 7;
+  (* perm change mutates the cached page record in place; the next
+     access must see it even on a TLB hit *)
+  Memory.set_perm m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_r;
+  Alcotest.check_raises "write faults after mprotect"
+    (Memory.Fault { fault_addr = 0x1000; access = `Write })
+    (fun () -> Memory.write_u64 m ~pkru:0 0x1000 9);
+  Alcotest.(check int) "value intact" 7 (Memory.read_u64 m ~pkru:0 0x1000);
+  (* same for pkey changes vs the caller's PKRU *)
+  Memory.set_pkey m ~addr:0x1000 ~len:4096 ~pkey:1;
+  Alcotest.check_raises "PKU read fault after pkey_mprotect"
+    (Memory.Fault { fault_addr = 0x1000; access = `Read })
+    (fun () -> ignore (Memory.read_u64 m ~pkru:(1 lsl 2) 0x1000))
+
+let test_u64_straddle_fault_addr () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rw;
+  (* word at 0x1ffc spills into the unmapped page at 0x2000: the fault
+     must name the first inaccessible byte, as the byte loop did *)
+  Alcotest.check_raises "straddle write fault at 0x2000"
+    (Memory.Fault { fault_addr = 0x2000; access = `Write })
+    (fun () -> Memory.write_u64 m ~pkru:0 0x1ffc 1);
+  Alcotest.check_raises "straddle read fault at 0x2000"
+    (Memory.Fault { fault_addr = 0x2000; access = `Read })
+    (fun () -> ignore (Memory.read_u64 m ~pkru:0 0x1ffc))
+
 (* ---------------- icache ---------------- *)
 
 let test_icache_caches_stale () =
@@ -100,6 +183,93 @@ let test_icache_flush () =
   Alcotest.(check bool) "holds" true (Icache.holds ic 0x1040);
   Icache.flush ic;
   Alcotest.(check bool) "flushed" false (Icache.holds ic 0x1040)
+
+(* ---------------- predecode coherence ---------------- *)
+
+let check_decode msg expected got =
+  let pp r =
+    match r with
+    | Ok (i, len) -> Printf.sprintf "%s/%d" (Insn.to_string i) len
+    | Error `Invalid -> "(bad)"
+  in
+  Alcotest.(check string) msg (pp expected) (pp got)
+
+(* (a) a store into a predecoded line is self-snooped: the next fetch
+   re-decodes the new bytes. *)
+let test_predecode_self_store () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rwx;
+  Memory.write_u8_raw m 0x1200 0x90;
+  let ic = Icache.create () in
+  check_decode "target predecoded as nop" (Ok (Insn.Nop, 1)) (Icache.fetch_decode ic m 0x1200);
+  (* overwrite the target with hlt (0xf4) via an executed store *)
+  Memory.write_bytes_raw m 0x1000
+    (Encode.assemble [ Mov_ri (RBX, 0x1200); Mov_ri (RAX, 0xf4); Store8 (RBX, 0, RAX) ]);
+  let regs = Regs.create () in
+  regs.rip <- 0x1000;
+  for _ = 1 to 3 do
+    ignore (Cpu.step regs m ic)
+  done;
+  check_decode "self-store re-decodes" (Ok (Insn.Hlt, 1)) (Icache.fetch_decode ic m 0x1200)
+
+(* (b) a cross-core store without [Kern.code_write_barrier] leaves the
+   other core's predecoded instruction stale — the byte-model
+   behaviour the P5 PoC depends on. *)
+let test_predecode_cross_core_stale () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rwx;
+  Memory.write_u8_raw m 0x1200 0x90;
+  let ic1 = Icache.create () and ic2 = Icache.create () in
+  check_decode "core1 predecodes nop" (Ok (Insn.Nop, 1)) (Icache.fetch_decode ic1 m 0x1200);
+  (* core 2 executes the store; it snoops only its own cache *)
+  Memory.write_bytes_raw m 0x1000
+    (Encode.assemble [ Mov_ri (RBX, 0x1200); Mov_ri (RAX, 0xf4); Store8 (RBX, 0, RAX) ]);
+  let regs = Regs.create () in
+  regs.rip <- 0x1000;
+  for _ = 1 to 3 do
+    ignore (Cpu.step regs m ic2)
+  done;
+  Alcotest.(check int) "memory updated" 0xf4 (Memory.read_u8_raw m 0x1200);
+  check_decode "core1 still stale without barrier" (Ok (Insn.Nop, 1))
+    (Icache.fetch_decode ic1 m 0x1200);
+  (* the kernel barrier invalidates every core's line *)
+  Icache.invalidate_range ic1 ~addr:0x1200 ~len:1;
+  check_decode "fresh after barrier" (Ok (Insn.Hlt, 1)) (Icache.fetch_decode ic1 m 0x1200)
+
+(* Jumping into the middle of an instruction must decode the different
+   overlapping instruction at that offset (P2a/P3a root cause): the
+   memo is per entry offset, not per instruction span. *)
+let test_predecode_overlap_entry () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
+  (* b8 90 90 90 90 = mov eax, 0x90909090; its tail bytes are nops *)
+  Memory.write_bytes_raw m 0x1000 (Bytes.of_string "\xb8\x90\x90\x90\x90");
+  let ic = Icache.create () in
+  check_decode "aligned entry" (Ok (Insn.Mov_ri32 (Reg.RAX, 0x90909090), 5))
+    (Icache.fetch_decode ic m 0x1000);
+  check_decode "misaligned entry decodes the overlap" (Ok (Insn.Nop, 1))
+    (Icache.fetch_decode ic m 0x1001)
+
+(* Line-straddling instructions are never memoised: their bytes span
+   two lines with independent lifetimes, so invalidating only the
+   second line must be visible on the next decode. *)
+let test_predecode_line_straddle () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
+  (* mov eax, imm32 at 0x103e: opcode+imm0 in line 0x1000, imm1..3 in
+     line 0x1040 *)
+  Memory.write_bytes_raw m 0x103e (Bytes.of_string "\xb8\x11\x22\x33\x44");
+  let ic = Icache.create () in
+  check_decode "straddling insn decodes" (Ok (Insn.Mov_ri32 (Reg.RAX, 0x44332211), 5))
+    (Icache.fetch_decode ic m 0x103e);
+  (* change an imm byte that lives in the second line *)
+  Memory.write_u8_raw m 0x1041 0x55;
+  check_decode "stale while both lines cached" (Ok (Insn.Mov_ri32 (Reg.RAX, 0x44332211), 5))
+    (Icache.fetch_decode ic m 0x103e);
+  Icache.invalidate_range ic ~addr:0x1041 ~len:1;
+  check_decode "second-line invalidate is visible"
+    (Ok (Insn.Mov_ri32 (Reg.RAX, 0x44552211), 5))
+    (Icache.fetch_decode ic m 0x103e)
 
 (* ---------------- cpu ---------------- *)
 
@@ -211,9 +381,24 @@ let tests =
       Alcotest.test_case "clone is deep" `Quick test_clone_is_deep;
       Alcotest.test_case "cstr roundtrip" `Quick test_cstr_roundtrip;
       Alcotest.test_case "MAP_NORESERVE accounting" `Quick test_reservation_accounting;
+      Alcotest.test_case "unmap accounting (partial/missing ranges)" `Quick test_unmap_accounting;
+      Alcotest.test_case "TLB: unmap faults" `Quick test_tlb_unmap_faults;
+      Alcotest.test_case "TLB: MAP_FIXED remap serves fresh page" `Quick test_tlb_remap_fresh;
+      Alcotest.test_case "TLB: mprotect/pkey visible immediately" `Quick
+        test_tlb_mprotect_immediate;
+      Alcotest.test_case "u64 page-straddle fault address" `Quick test_u64_straddle_fault_addr;
       QCheck_alcotest.to_alcotest prop_memory_bytes;
+      QCheck_alcotest.to_alcotest prop_memory_u64;
       Alcotest.test_case "icache serves stale lines" `Quick test_icache_caches_stale;
       Alcotest.test_case "icache flush" `Quick test_icache_flush;
+      Alcotest.test_case "predecode: self-store re-decodes (SMC)" `Quick
+        test_predecode_self_store;
+      Alcotest.test_case "predecode: cross-core store stays stale (P5)" `Quick
+        test_predecode_cross_core_stale;
+      Alcotest.test_case "predecode: misaligned entry overlap (P2a/P3a)" `Quick
+        test_predecode_overlap_entry;
+      Alcotest.test_case "predecode: line-straddling insn not memoised" `Quick
+        test_predecode_line_straddle;
       Alcotest.test_case "arithmetic flags" `Quick test_arith_flags;
       Alcotest.test_case "conditional branch" `Quick test_branching;
       Alcotest.test_case "push/pop/call/ret" `Quick test_push_pop_call_ret;

@@ -10,6 +10,31 @@ let check_cell sys pf () =
     (Printf.sprintf "%s under %s (%s)" (H.pitfall_to_string pf) (H.system_to_string sys) v.detail)
     expected v.handled
 
+(* The predecode layer must not perturb the stale-I-cache (P3b) and
+   torn-write (P5) scenarios: the same verdict, with the same detail,
+   whether instructions are memoised per line or re-decoded
+   byte-by-byte every step. *)
+let check_predecode_invariant pf () =
+  let run_with on =
+    K23_machine.Icache.set_predecode on;
+    Fun.protect
+      ~finally:(fun () -> K23_machine.Icache.set_predecode true)
+      (fun () -> H.check Zpoline pf, H.check Lazypoline pf, H.check K23_sys pf)
+  in
+  let on = run_with true and off = run_with false in
+  let cmp sys (von : H.verdict) (voff : H.verdict) =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: verdict invariant under predecode" sys)
+      voff.H.handled von.H.handled;
+    Alcotest.(check string)
+      (Printf.sprintf "%s: detail invariant under predecode" sys)
+      voff.H.detail von.H.detail
+  in
+  let z_on, l_on, k_on = on and z_off, l_off, k_off = off in
+  cmp "zpoline" z_on z_off;
+  cmp "lazypoline" l_on l_off;
+  cmp "K23" k_on k_off
+
 let tests =
   ( "pitfalls (Table 3)",
     List.concat_map
@@ -20,4 +45,10 @@ let tests =
               (Printf.sprintf "%s / %s" (H.pitfall_to_string pf) (H.system_to_string sys))
               `Quick (check_cell sys pf))
           H.all_systems)
-      H.all_pitfalls )
+      H.all_pitfalls
+    @ [
+        Alcotest.test_case "P3b verdicts: predecode on == off" `Quick
+          (check_predecode_invariant H.P3b);
+        Alcotest.test_case "P5 verdicts: predecode on == off" `Quick
+          (check_predecode_invariant H.P5);
+      ] )
