@@ -7,8 +7,8 @@
      dune exec bench/main.exe -- --quick table5 table6   # fewer runs
 
    Experiments: table2 table3 fig3 table5 table6 startup memory
-   ablation simperf.  EXPERIMENTS.md records the paper-vs-measured
-   comparison in full. *)
+   ablation simperf ktrace.  EXPERIMENTS.md records the
+   paper-vs-measured comparison in full. *)
 
 open K23_eval
 
@@ -80,133 +80,27 @@ let ablation () =
 
 (* Bechamel measurements of the simulator's own hot paths: not a paper
    artifact, but the perf trajectory every table depends on (billions
-   of simulated steps per full run).  [--json <path>] additionally
-   emits a machine-readable record so the numbers are tracked across
-   PRs (see BENCH_simperf.json / EXPERIMENTS.md). *)
-let simperf ?json () =
+   of simulated steps per full run).  The workload lives in
+   [K23_eval.Simperf] so the test suite can run a fast smoke pass;
+   [--json <path>] additionally emits a machine-readable record so the
+   numbers are tracked across PRs (BENCH_simperf.json /
+   EXPERIMENTS.md).  [--quick] shrinks the per-test budget. *)
+let simperf ~quick ?json () =
   section "simulator hot-path performance (Bechamel)";
-  let open Bechamel in
-  let open Toolkit in
-  let open K23_machine in
-  let prog =
-    K23_isa.Encode.assemble
-      [ Mov_ri (RAX, 500); Syscall; Mov_rr (RDI, RSI); Add_ri (RSP, 8); Ret ]
+  let r =
+    if quick then Simperf.run ~quota:0.05 ~limit:50 () else Simperf.run ()
   in
-  let set = K23_core.Robin_set.of_list (List.init 64 (fun i -> 0x400000 + (i * 16))) in
-  (* Fixed fetch-decode-execute workload: a register/branch-heavy loop
-     (no data memory traffic), so the measurement is dominated by the
-     fetch+decode dispatch path that [Cpu.step] takes per instruction. *)
-  let loop_insns : K23_isa.Insn.t list =
-    [
-      Mov_ri (RCX, 32);
-      (* loop body: 24 bytes, jcc jumps back to its start *)
-      Mov_rr (RAX, RCX);
-      Add_rr (RAX, RCX);
-      Sub_ri (RAX, 1);
-      Cmp_ri (RCX, 0);
-      Sub_ri (RCX, 1);
-      Jcc (NZ, -24);
-      Hlt;
-    ]
-  in
-  (* Same shape with a load/store pair in the body: exercises the
-     [Memory] word-access path (page lookup + permission checks). *)
-  let mem_loop_insns : K23_isa.Insn.t list =
-    [
-      Mov_ri (RCX, 32);
-      Mov_ri (RBX, 0x8000);
-      (* loop body: 3+7+7+4+4+6 = 31 bytes *)
-      Mov_rr (RAX, RCX);
-      Store (RBX, 0, RAX);
-      Load (RAX, RBX, 0);
-      Cmp_ri (RCX, 0);
-      Sub_ri (RCX, 1);
-      Jcc (NZ, -31);
-      Hlt;
-    ]
-  in
-  let make_step_loop insns =
-    let mem = Memory.create () in
-    Memory.map mem ~addr:0x1000 ~len:4096 ~perm:Memory.perm_rx;
-    Memory.map mem ~addr:0x8000 ~len:4096 ~perm:Memory.perm_rw;
-    Memory.write_bytes_raw mem 0x1000 (K23_isa.Encode.assemble insns);
-    let regs = Regs.create () in
-    let ic = Icache.create () in
-    let run () =
-      regs.rip <- 0x1000;
-      Regs.set regs RSP 0x8800;
-      let steps = ref 0 in
-      let continue = ref true in
-      while !continue do
-        incr steps;
-        match Cpu.step regs mem ic with
-        | Cpu.Stepped _ -> ()
-        | Cpu.Trapped _ -> continue := false
-      done;
-      !steps
-    in
-    run
-  in
-  let step_loop = make_step_loop loop_insns in
-  let step_loop_mem = make_step_loop mem_loop_insns in
-  let steps_per_run = step_loop () in
-  let mem_u64 =
-    let mem = Memory.create () in
-    Memory.map mem ~addr:0x8000 ~len:8192 ~perm:Memory.perm_rw;
-    mem
-  in
-  let tests =
-    [
-      Test.make ~name:"isa.decode" (Staged.stage (fun () -> K23_isa.Decode.decode_bytes prog 0));
-      Test.make ~name:"isa.linear-sweep"
-        (Staged.stage (fun () -> K23_isa.Disasm.find_syscall_sites prog ~base:0));
-      Test.make ~name:"robin_set.mem"
-        (Staged.stage (fun () -> K23_core.Robin_set.mem set 0x400080));
-      Test.make ~name:"cpu.step-loop" (Staged.stage (fun () -> ignore (step_loop ())));
-      Test.make ~name:"cpu.step-loop-mem" (Staged.stage (fun () -> ignore (step_loop_mem ())));
-      Test.make ~name:"mem.read_u64"
-        (Staged.stage (fun () -> Memory.read_u64 mem_u64 ~pkru:0 0x8100));
-      Test.make ~name:"mem.write_u64"
-        (Staged.stage (fun () -> Memory.write_u64 mem_u64 ~pkru:0 0x8100 0xdeadbeef));
-    ]
-  in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let estimates = ref [] in
-  List.iter
-    (fun t ->
-      let results = Benchmark.all cfg Instance.[ monotonic_clock ] t in
-      Hashtbl.iter
-        (fun name raw ->
-          match Analyze.OLS.estimates (Analyze.one ols Instance.monotonic_clock raw) with
-          | Some (est :: _) ->
-            estimates := (name, est) :: !estimates;
-            Printf.printf "%-24s %12.1f ns/op\n" name est
-          | Some [] | None -> Printf.printf "%-24s (no estimate)\n" name)
-        results)
-    tests;
-  let steps_per_sec =
-    match List.assoc_opt "cpu.step-loop" !estimates with
-    | Some ns when ns > 0. -> float_of_int steps_per_run *. 1e9 /. ns
-    | _ -> 0.
-  in
-  Printf.printf "%-24s %12.0f steps/sec (%d-step workload)\n" "cpu.step-loop" steps_per_sec
-    steps_per_run;
+  print_string (Simperf.render r);
   match json with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    Printf.fprintf oc "{\n  \"experiment\": \"simperf\",\n  \"ns_per_op\": {\n";
-    let rows = List.rev !estimates in
-    List.iteri
-      (fun i (name, est) ->
-        Printf.fprintf oc "    %S: %.1f%s\n" name est
-          (if i = List.length rows - 1 then "" else ","))
-      rows;
-    Printf.fprintf oc "  },\n  \"step_loop\": { \"steps_per_run\": %d, \"steps_per_sec\": %.0f }\n}\n"
-      steps_per_run steps_per_sec;
-    close_out oc;
+    Simperf.write_json r path;
     Printf.printf "wrote %s\n" path
+
+let ktrace ~quick () =
+  section "ktrace - per-mechanism event/counter summaries (stress app)";
+  let rows = Ktrace_summary.run ~iters:(if quick then 100 else 300) () in
+  print_string (Ktrace_summary.render rows)
 
 let arm () =
   section "extension - fixed-length ISA study (Section 7's claim, quantified)";
@@ -253,6 +147,7 @@ let () =
       | "ablation" -> ablation ()
       | "seccomp" -> seccomp ()
       | "arm" -> arm ()
-      | "simperf" -> simperf ?json ()
+      | "simperf" -> simperf ~quick ?json ()
+      | "ktrace" -> ktrace ~quick ()
       | other -> Printf.eprintf "unknown experiment %S\n" other)
     experiments

@@ -83,9 +83,59 @@ let run_cmd =
     Term.(const run $ app_arg $ under)
 
 let trace_cmd =
-  let run app =
+  let mech_opt =
+    Arg.(
+      value
+      & opt (some mech_conv) None
+      & info [ "mech"; "m" ] ~docv:"MECH"
+          ~doc:
+            "Record a structured ktrace event stream under this mechanism instead of the \
+             default strace-style K23 listing.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the ktrace event stream (plus counters) as JSON on stdout.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"World RNG seed; two runs with the same seed produce byte-identical streams.")
+  in
+  (* Structured path: run [app] under [mech] with the ktrace ring
+     enabled (after K23's offline phase, so the stream covers the
+     online run) and render the events human- or JSON-style. *)
+  let run_ktrace ~mech ~json ~seed path =
+    let w = Sim.create_world ?seed () in
+    Apps.Coreutils.register_all w;
+    if K23_eval.Mech.needs_offline mech then begin
+      ignore (K23.offline_run w ~path ());
+      K23.seal_logs w
+    end;
+    let t = Kern.ktrace_enable w in
+    match K23_eval.Mech.launch mech w ~path () with
+    | Error e -> Printf.eprintf "launch failed: %s\n" (Errno.to_string e)
+    | Ok (p, _stats) ->
+      World.run_until_exit w p;
+      let events = K23_obs.Trace.events t in
+      if json then
+        print_string
+          (K23_obs.Render.json_stream ~namer:Sysno.name
+             ~counters:(K23_obs.Counters.to_alist t.K23_obs.Trace.counters)
+             ~dropped:(K23_obs.Trace.dropped t) events)
+      else begin
+        print_string (K23_obs.Render.human_stream ~namer:Sysno.name events);
+        Printf.printf "--- %d events (%d dropped)\n" (List.length events)
+          (K23_obs.Trace.dropped t)
+      end
+  in
+  (* Legacy path: the exhaustive strace-style listing via a K23 inner
+     handler, byte-compatible with earlier releases. *)
+  let run_legacy path =
     let w = setup_world () in
-    let path = resolve_app app in
     ignore (K23.offline_run w ~path ());
     K23.seal_logs w;
     let inner : I.handler =
@@ -102,9 +152,19 @@ let trace_cmd =
       Printf.printf "--- %d syscalls (exhaustive: %b)\n" stats.interposed
         (stats.interposed = p.counters.c_app)
   in
+  let run app mech json seed =
+    let path = resolve_app app in
+    match (mech, json) with
+    | None, false -> run_legacy path
+    | Some m, _ -> run_ktrace ~mech:m ~json ~seed path
+    | None, true -> run_ktrace ~mech:K23_eval.Mech.K23_default ~json ~seed path
+  in
   Cmd.v
-    (Cmd.info "trace" ~doc:"strace-style syscall listing (exhaustive, via K23).")
-    Term.(const run $ app_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Syscall tracing: strace-style listing via K23 by default; with $(b,--mech) or \
+          $(b,--json), a structured ktrace event stream under any mechanism.")
+    Term.(const run $ app_arg $ mech_opt $ json $ seed)
 
 let offline_cmd =
   let run app =

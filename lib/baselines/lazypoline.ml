@@ -163,6 +163,7 @@ let image ~handler ~stats () : image =
   im
 
 let launch w ?inner ~path ?argv ?(env = []) () =
+  ktrace_annot w "mech:lazypoline";
   let stats = fresh_stats () in
   let handler = counting_handler ?inner stats in
   register_library w (image ~handler ~stats ());

@@ -29,6 +29,7 @@ let tracer ?(name = "ptracer") ~handler ~(stats : stats) () =
   }
 
 let launch w ?inner ~path ?argv ?(env = []) () =
+  ktrace_annot w "mech:ptrace";
   let stats = fresh_stats () in
   let handler = counting_handler ?inner stats in
   let tr = tracer ~handler ~stats () in

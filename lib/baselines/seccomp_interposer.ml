@@ -81,6 +81,7 @@ let image ~handler ~stats () : image =
 
 (** TRAP-style interposition (signal-based, expressive). *)
 let launch w ?inner ~path ?argv ?(env = []) () =
+  ktrace_annot w "mech:seccomp-trap";
   let stats = fresh_stats () in
   let handler = counting_handler ?inner stats in
   register_library w (image ~handler ~stats ());
@@ -93,6 +94,7 @@ let launch w ?inner ~path ?argv ?(env = []) () =
     minimal preload whose constructor does only that.  No user handler
     ever runs — that is the point being demonstrated. *)
 let launch_filter_only w ~filters ~path ?argv ?(env = []) () =
+  ktrace_annot w "mech:seccomp-filter";
   let im : image =
     {
       im_name = "/usr/lib/libseccomp-policy.so";

@@ -63,6 +63,7 @@ let image ?(interpose_on = true) ~handler ~stats () : image =
   im
 
 let launch w ?(interpose_on = true) ?inner ~path ?argv ?(env = []) () =
+  ktrace_annot w (if interpose_on then "mech:sud" else "mech:sud-nointerpose");
   let stats = fresh_stats () in
   let handler = counting_handler ?inner stats in
   register_library w (image ~interpose_on ~handler ~stats ());

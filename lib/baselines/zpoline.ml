@@ -120,6 +120,8 @@ let image ~variant ~handler ~stats () : image =
 (** Launch [path] under zpoline.  Returns the process and the shared
     interposition statistics. *)
 let launch w ~variant ?inner ~path ?argv ?(env = []) () =
+  ktrace_annot w
+    ("mech:" ^ match variant with Default -> "zpoline" | Ultra -> "zpoline-ultra");
   let stats = fresh_stats () in
   let handler = counting_handler ?inner stats in
   register_library w (image ~variant ~handler ~stats ());

@@ -82,6 +82,7 @@ let seal_logs = Log_store.seal
     libK23 injected via LD_PRELOAD (enforced), vdso disabled, SUD
     fallback armed.  Returns the process and shared statistics. *)
 let launch w ~variant ?inner ~path ?argv ?(env = []) () =
+  ktrace_annot w ("mech:k23-" ^ variant_to_string variant);
   let stats = fresh_stats () in
   (* the handler: counting, plus K23's own interception duties *)
   let handler_ref = ref (fun _ ~nr:_ ~args:_ ~site:_ -> Forward) in

@@ -116,6 +116,11 @@ and counters = {
   mutable c_vdso : int;  (** vdso fast-path calls that bypassed the kernel *)
   mutable c_sigsys : int;  (** SIGSYS deliveries *)
   c_by_nr : (int, int) Hashtbl.t;
+  c_named : K23_obs.Counters.t;
+      (** named-counter registry extending the flat fields above; only
+          updated while the world's ktrace is enabled.  Reset together
+          with the record (execve), so ["sys.app"] etc. stay in exact
+          parity with [c_app] etc. — see test_obs.ml *)
 }
 
 and tracer = {
@@ -188,6 +193,12 @@ and world = {
   mutable trace : bool;  (** print a line per syscall (debugging) *)
   mutable aslr : bool;
   mutable sud_ever_armed : bool;
+  mutable ktrace : K23_obs.Trace.t option;
+      (** the observability sink.  [None] (the default) is the
+          zero-overhead mode: every emission site is guarded by a
+          single match on this field, so nothing is allocated or
+          recorded.  Enable with {!ktrace_enable}. *)
+  ktrace_last_tid : int array;  (** per-core last-run tid, for sched-switch events *)
 }
 
 exception Would_block of { why : string; ready : unit -> bool }
@@ -235,6 +246,8 @@ let create_world ?(ncores = 12) ?(quantum = 64) ?(seed = 23) ?(aslr = true)
     trace = false;
     aslr;
     sud_ever_armed = false;
+    ktrace = None;
+    ktrace_last_tid = Array.make ncores (-1);
   }
 
 let register_library w (im : image) =
@@ -252,6 +265,7 @@ let fresh_counters () =
     c_vdso = 0;
     c_sigsys = 0;
     c_by_nr = Hashtbl.create 32;
+    c_named = K23_obs.Counters.create ();
   }
 
 let new_proc w ~parent ~cmd =
@@ -398,6 +412,51 @@ let scratch_write_cstr (p : proc) s =
 
 let charge (w : world) (th : thread) cycles = w.core_cycles.(th.core) <- w.core_cycles.(th.core) + cycles
 
+(* ------------------------------------------------------------------ *)
+(* ktrace: structured event recording (lib/obs)                        *)
+
+(** Turn recording on; returns the sink for direct inspection.  The
+    kernel emits cycle-stamped events (syscall enter/exit with owner,
+    signals, SUD, seccomp, ptrace stops, code-write barriers, faults,
+    scheduler switches) into a bounded overwrite-oldest ring, and
+    mirrors the legacy counter fields into two named registries: the
+    per-process [counters.c_named] (execve-reset, parity with the flat
+    record) and the world-level lifetime registry in the sink. *)
+let ktrace_enable ?capacity (w : world) =
+  let t = K23_obs.Trace.create ?capacity () in
+  w.ktrace <- Some t;
+  t
+
+let ktrace_disable (w : world) = w.ktrace <- None
+
+(** Bump a named counter in both the per-proc and world registries.
+    No-op (one branch) when tracing is off. *)
+let ktrace_count (w : world) (p : proc) name =
+  match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Counters.incr p.counters.c_named name;
+    K23_obs.Counters.incr t.counters name
+
+(** Record a thread-context event.  Callers on hot paths should match
+    on [w.ktrace] themselves so the payload is never allocated while
+    tracing is off; this helper is for cold paths. *)
+let ktrace_event (w : world) (th : thread) payload =
+  match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid payload
+
+(** Free-form annotation with no thread context (mechanism launches
+    tag their runs with ["mech:<name>"]). *)
+let ktrace_annot (w : world) msg =
+  match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Trace.emit t
+      ~cycles:(Array.fold_left max 0 w.core_cycles)
+      ~pid:0 ~tid:0 (K23_obs.Event.Annot msg)
+
 (** Cache-coherent code write: invalidate the written lines in every
     core's I-cache.  x86 caches are coherent, so a store to code
     becomes fetchable by other cores immediately — which is exactly
@@ -414,7 +473,15 @@ let charge (w : world) (th : thread) cycles = w.core_cycles.(th.core) <- w.core_
     — the predecode layer snoops on exactly the same events as the
     byte cache. *)
 let code_write_barrier (w : world) ~addr ~len =
-  Array.iter (fun ic -> Icache.invalidate_range ic ~addr ~len) w.icaches
+  Array.iter (fun ic -> Icache.invalidate_range ic ~addr ~len) w.icaches;
+  match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Counters.incr t.counters "code_write_barrier";
+    K23_obs.Trace.emit t
+      ~cycles:(Array.fold_left max 0 w.core_cycles)
+      ~pid:0 ~tid:0
+      (K23_obs.Event.Code_write { addr; len })
 
 let now (w : world) = Array.fold_left max 0 w.core_cycles
 
@@ -482,6 +549,12 @@ let proc_dead (p : proc) = p.exit_status <> None || p.term_signal <> None
     dies (all the signals we model are fatal by default). *)
 let deliver_signal (w : world) (th : thread) ~signo ~sysno ~site ~args =
   let p = th.t_proc in
+  ktrace_count w p "signal.deliver";
+  (match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:p.pid ~tid:th.tid
+      (K23_obs.Event.Signal_deliver { signo; sysno; site }));
   match Hashtbl.find_opt p.sig_handlers signo with
   | None -> kill_proc p ~signal:signo
   | Some handler_addr ->
@@ -512,12 +585,18 @@ let do_sigreturn (w : world) (th : thread) =
   | frame :: rest ->
     charge w th w.cost.sigreturn_extra;
     th.frames <- rest;
+    ktrace_count w th.t_proc "sigreturn";
+    (match w.ktrace with
+    | None -> ()
+    | Some t ->
+      K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
+        (K23_obs.Event.Sigreturn { depth = List.length rest }));
     Regs.restore th.regs ~from:frame.fr_regs
 
 (* ------------------------------------------------------------------ *)
 (* Syscall entry                                                       *)
 
-let note_syscall (w : world) (th : thread) ~nr ~site =
+let note_syscall (w : world) (th : thread) ~nr ~site ~args =
   let p = th.t_proc in
   let c = p.counters in
   let owner = region_owner p site in
@@ -525,17 +604,33 @@ let note_syscall (w : world) (th : thread) ~nr ~site =
   | Interposer ->
     (* a re-issue from an interposer's SIGSYS gadget: the application's
        original attempt was already counted when SUD diverted it *)
-    c.c_interposer <- c.c_interposer + 1
+    c.c_interposer <- c.c_interposer + 1;
+    ktrace_count w p "sys.interposer"
   | Trampoline | App | Libc | Ldso | Vdso | Lib _ | Anon | Stack ->
     (* trampoline-gadget syscalls ARE application syscalls: after a
        site is rewritten, its calls reach the kernel only through the
        trampoline, exactly one kernel entry per application attempt *)
     c.c_app <- c.c_app + 1;
-    if not p.startup_done then c.c_startup <- c.c_startup + 1;
-    Hashtbl.replace c.c_by_nr nr (1 + Option.value ~default:0 (Hashtbl.find_opt c.c_by_nr nr)));
-  if w.trace then
-    Printf.eprintf "[pid %d tid %d] %s(...) @%x (%s)\n%!" p.pid th.tid (Sysno.name nr) site
-      (owner_to_string owner)
+    ktrace_count w p "sys.app";
+    if not p.startup_done then begin
+      c.c_startup <- c.c_startup + 1;
+      ktrace_count w p "sys.startup"
+    end;
+    Hashtbl.replace c.c_by_nr nr (1 + Option.value ~default:0 (Hashtbl.find_opt c.c_by_nr nr));
+    ktrace_count w p ("sys.nr." ^ string_of_int nr));
+  (* one event serves both consumers: the structured ring and the
+     legacy [w.trace] stderr line (same bytes as the historical
+     Printf, now produced by the ktrace renderer) *)
+  match (w.ktrace, w.trace) with
+  | None, false -> ()
+  | kt, tr ->
+    let ev =
+      K23_obs.Event.make ~cycles:w.core_cycles.(th.core) ~pid:p.pid ~tid:th.tid
+        (K23_obs.Event.Syscall_enter
+           { nr; site; owner = owner_to_string owner; args = Array.copy args })
+    in
+    (match kt with Some t -> K23_obs.Trace.push t ev | None -> ());
+    if tr then Printf.eprintf "%s\n%!" (K23_obs.Render.human_event ~namer:Sysno.name ev)
 
 (** Per-thread selector slot.  Real interposers keep the SUD selector
     byte in TLS so each thread toggles its own; we model TLS with a
@@ -581,9 +676,20 @@ let finish_syscall (w : world) (th : thread) ~nr ~args =
     (* implementations that rewrite the register file (rt_sigreturn,
        execve) return the post-rewrite rax, making this a no-op *)
     Regs.set th.regs RAX ret;
+    (match w.ktrace with
+    | None -> ()
+    | Some t ->
+      K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
+        (K23_obs.Event.Syscall_exit { nr; ret }));
     (match th.t_proc.tracer with
     | Some tr when tr.tr_trace_syscalls && not (proc_dead th.t_proc) ->
       charge w th w.cost.ptrace_stop;
+      ktrace_count w th.t_proc "ptrace.stop";
+      (match w.ktrace with
+      | None -> ()
+      | Some t ->
+        K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
+          (K23_obs.Event.Ptrace_stop { kind = Exit; nr }));
       (match tr.tr_on_exit with
       | Some f -> f { world = w; thread = th } ~nr ~ret
       | None -> ())
@@ -602,14 +708,21 @@ let handle_syscall (w : world) (th : thread) ~site =
   (* SUD: divert to SIGSYS when armed, outside the allowlisted range
      and with the selector set to BLOCK. *)
   if sud_blocks th ~site then begin
-    note_syscall w th ~nr ~site;
+    note_syscall w th ~nr ~site ~args;
     charge w th w.cost.syscall_base;
     p.counters.c_sigsys <- p.counters.c_sigsys + 1;
+    ktrace_count w p "sigsys";
+    ktrace_count w p "sud.block";
+    (match w.ktrace with
+    | None -> ()
+    | Some t ->
+      K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:p.pid ~tid:th.tid
+        (K23_obs.Event.Sud_block { nr; site }));
     if Hashtbl.mem p.sig_handlers sigsys then deliver_signal w th ~signo:sigsys ~sysno:nr ~site ~args
     else kill_proc p ~signal:sigsys
   end
   else begin
-    note_syscall w th ~nr ~site;
+    note_syscall w th ~nr ~site ~args;
     (* Once SUD is initialised every kernel entry of that thread takes
        the slow path, even with interposition toggled off — the
        "SUD-no-interposition" overhead of Table 5. *)
@@ -623,13 +736,29 @@ let handle_syscall (w : world) (th : thread) ~site =
       | [] -> Bpf.Allow
       | filters ->
         charge w th (25 * List.length filters);
-        Bpf.eval_all filters { Bpf.nr; arch = 0xc000003e; ip = site; args = Array.copy args }
+        let v = Bpf.eval_all filters { Bpf.nr; arch = 0xc000003e; ip = site; args = Array.copy args } in
+        ktrace_count w p "seccomp.eval";
+        (match w.ktrace with
+        | None -> ()
+        | Some t ->
+          let verdict =
+            match v with
+            | Bpf.Allow -> "allow"
+            | Bpf.Log -> "log"
+            | Bpf.Kill -> "kill"
+            | Bpf.Trap -> "trap"
+            | Bpf.Errno e -> "errno:" ^ string_of_int e
+          in
+          K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:p.pid ~tid:th.tid
+            (K23_obs.Event.Seccomp { nr; verdict }));
+        v
     in
     match seccomp_verdict with
     | Bpf.Kill -> kill_proc p ~signal:sigsys
     | Bpf.Errno e -> Regs.set th.regs RAX (-e)
     | Bpf.Trap ->
       p.counters.c_sigsys <- p.counters.c_sigsys + 1;
+      ktrace_count w p "sigsys";
       if Hashtbl.mem p.sig_handlers sigsys then
         deliver_signal w th ~signo:sigsys ~sysno:nr ~site ~args
       else kill_proc p ~signal:sigsys
@@ -637,6 +766,12 @@ let handle_syscall (w : world) (th : thread) ~site =
     match p.tracer with
     | Some tr when tr.tr_trace_syscalls ->
       charge w th w.cost.ptrace_stop;
+      ktrace_count w p "ptrace.stop";
+      (match w.ktrace with
+      | None -> ()
+      | Some t ->
+        K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:p.pid ~tid:th.tid
+          (K23_obs.Event.Ptrace_stop { kind = Entry; nr }));
       let action =
         match tr.tr_on_entry with
         | Some f -> f { world = w; thread = th } ~nr ~site ~args
@@ -646,6 +781,12 @@ let handle_syscall (w : world) (th : thread) ~site =
       | `Skip ret ->
         Regs.set th.regs RAX ret;
         charge w th w.cost.ptrace_stop;
+        ktrace_count w p "ptrace.stop";
+        (match w.ktrace with
+        | None -> ()
+        | Some t ->
+          K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:p.pid ~tid:th.tid
+            (K23_obs.Event.Ptrace_stop { kind = Exit; nr }));
         (match tr.tr_on_exit with
         | Some f -> f { world = w; thread = th } ~nr ~ret
         | None -> ())
@@ -684,6 +825,26 @@ let switch_address_space (w : world) (th : thread) =
     w.core_resident.(th.core) <- th.t_proc.pid
   end
 
+(** Record a fault-class trap ({!Cpu.trap_name} keys the counter) and
+    reproduce the historical [w.trace] stderr line via the renderer. *)
+let emit_trap_event (w : world) (th : thread) trap payload =
+  (match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Counters.incr th.t_proc.counters.c_named ("trap." ^ Cpu.trap_name trap);
+    K23_obs.Counters.incr t.counters ("trap." ^ Cpu.trap_name trap));
+  match (w.ktrace, w.trace) with
+  | None, false -> ()
+  | kt, tr ->
+    let ev =
+      K23_obs.Event.make ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid payload
+    in
+    (match kt with Some t -> K23_obs.Trace.push t ev | None -> ());
+    if tr then (
+      match payload with
+      | K23_obs.Event.Fault { access = "BP"; _ } -> () (* int3 was never traced *)
+      | _ -> Printf.eprintf "%s\n%!" (K23_obs.Render.human_event ev))
+
 let step_thread (w : world) (th : thread) =
   switch_address_space w th;
   w.steps <- w.steps + 1;
@@ -698,15 +859,16 @@ let step_thread (w : world) (th : thread) =
       | Some (_name, f) -> f { world = w; thread = th }
       | None -> panic "pid %d: unresolvable vcall %d at %x" th.t_proc.pid idx (th.regs.rip - 6))
     | Cpu.Fault_trap f ->
-      if w.trace then
-        Printf.eprintf "[pid %d] fault %s @%x rip=%x\n%!" th.t_proc.pid
-          (match f.access with `Read -> "R" | `Write -> "W" | `Exec -> "X")
-          f.fault_addr th.regs.rip;
+      let access = match f.access with `Read -> "R" | `Write -> "W" | `Exec -> "X" in
+      emit_trap_event w th trap
+        (K23_obs.Event.Fault { access; addr = f.fault_addr; rip = th.regs.rip });
       deliver_signal w th ~signo:sigsegv ~sysno:0 ~site:th.regs.rip ~args:[||]
     | Cpu.Ud_trap addr ->
-      if w.trace then Printf.eprintf "[pid %d] SIGILL at %x\n%!" th.t_proc.pid addr;
+      emit_trap_event w th trap (K23_obs.Event.Fault { access = "ILL"; addr; rip = th.regs.rip });
       deliver_signal w th ~signo:sigill ~sysno:0 ~site:addr ~args:[||]
-    | Cpu.Int3_trap addr -> deliver_signal w th ~signo:sigtrap ~sysno:0 ~site:addr ~args:[||]
+    | Cpu.Int3_trap addr ->
+      emit_trap_event w th trap (K23_obs.Event.Fault { access = "BP"; addr; rip = th.regs.rip });
+      deliver_signal w th ~signo:sigtrap ~sysno:0 ~site:addr ~args:[||]
     | Cpu.Hlt_trap addr -> panic "pid %d: hlt at %x" th.t_proc.pid addr)
 
 (* ------------------------------------------------------------------ *)
@@ -735,6 +897,19 @@ let wake_ready (w : world) =
 (** Run one quantum of a thread; completes a pending blocked syscall
     first if there is one. *)
 let run_slice (w : world) (th : thread) =
+  (match w.ktrace with
+  | None -> ()
+  | Some t ->
+    (* a different thread starts running on this core: a context
+       switch in real-kernel terms (same-thread quantum renewals are
+       not events) *)
+    if w.ktrace_last_tid.(th.core) <> th.tid then begin
+      w.ktrace_last_tid.(th.core) <- th.tid;
+      K23_obs.Counters.incr th.t_proc.counters.c_named "sched.switch";
+      K23_obs.Counters.incr t.counters "sched.switch";
+      K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
+        (K23_obs.Event.Sched_switch { core = th.core })
+    end);
   (match th.pending with
   | Some (nr, args) when th.state = Runnable ->
     th.pending <- None;

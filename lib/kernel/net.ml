@@ -6,19 +6,47 @@
     Blocking behaviour (accept on an empty backlog, read on an empty
     queue) is implemented by the kernel scheduler, not here. *)
 
-(** One direction of a connection: an unbounded FIFO of bytes. *)
-module Byteq = struct
-  type t = { mutable chunks : Bytes.t list; mutable head_off : int; mutable size : int }
+(** One direction of a connection: an unbounded FIFO of bytes.
 
-  let create () = { chunks = []; head_off = 0; size = 0 }
+    Two-list (Okasaki) queue: [push] conses onto [back], [pop] consumes
+    [front] and reverses [back] only when [front] drains — amortised
+    O(1) per chunk.  The previous representation appended with
+    [q.chunks <- q.chunks @ [b]], making an N-chunk enqueue burst O(N²)
+    — quadratic in exactly the server hot path (every [write] on a
+    connection pushes a chunk). *)
+module Byteq = struct
+  type t = {
+    mutable front : Bytes.t list;  (** oldest first *)
+    mutable back : Bytes.t list;  (** newest first *)
+    mutable head_off : int;  (** consumed prefix of [List.hd front] *)
+    mutable size : int;
+  }
+
+  let create () = { front = []; back = []; head_off = 0; size = 0 }
 
   let length q = q.size
 
   let push q b =
     if Bytes.length b > 0 then begin
-      q.chunks <- q.chunks @ [ b ];
+      q.back <- b :: q.back;
       q.size <- q.size + Bytes.length b
     end
+
+  (* oldest chunk, shifting the back list in when the front drains *)
+  let head q =
+    match q.front with
+    | c :: _ -> Some c
+    | [] -> (
+      match List.rev q.back with
+      | [] -> None
+      | front ->
+        q.front <- front;
+        q.back <- [];
+        (match front with c :: _ -> Some c | [] -> None))
+
+  let drop_head q =
+    (match q.front with [] -> () | _ :: rest -> q.front <- rest);
+    q.head_off <- 0
 
   (** Pop up to [max] bytes. *)
   let pop q max =
@@ -26,17 +54,13 @@ module Byteq = struct
     let rec go () =
       if Buffer.length out >= max then ()
       else
-        match q.chunks with
-        | [] -> ()
-        | c :: rest ->
+        match head q with
+        | None -> ()
+        | Some c ->
           let avail = Bytes.length c - q.head_off in
           let want = min avail (max - Buffer.length out) in
           Buffer.add_subbytes out c q.head_off want;
-          if want = avail then begin
-            q.chunks <- rest;
-            q.head_off <- 0
-          end
-          else q.head_off <- q.head_off + want;
+          if want = avail then drop_head q else q.head_off <- q.head_off + want;
           if want > 0 then go ()
     in
     go ();

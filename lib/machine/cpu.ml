@@ -20,6 +20,16 @@ type trap =
 type outcome = Stepped of int | Trapped of trap * int
 (** The [int] is the cycle cost charged for this step. *)
 
+(** Stable short name per trap class; the kernel's ktrace hooks key
+    machine-level events and counters on it ("trap.fault", ...). *)
+let trap_name = function
+  | Syscall_trap _ -> "syscall"
+  | Vcall_trap _ -> "vcall"
+  | Fault_trap _ -> "fault"
+  | Ud_trap _ -> "ud"
+  | Int3_trap _ -> "int3"
+  | Hlt_trap _ -> "hlt"
+
 let cond_holds (regs : Regs.t) = function
   | Insn.Z -> regs.zf
   | NZ -> not regs.zf

@@ -19,4 +19,9 @@ type trap =
 type outcome = Stepped of int | Trapped of trap * int
 (** The [int] is the cycle cost charged for the step. *)
 
+val trap_name : trap -> string
+(** Stable short name for a trap ("syscall", "fault", "ud", "int3",
+    "hlt", "vcall") — the machine-level key used by the kernel's
+    ktrace event/counter hooks. *)
+
 val step : ?cost:Cost.model -> Regs.t -> Memory.t -> Icache.t -> outcome

@@ -1,0 +1,32 @@
+(** Named-counter registry.
+
+    Replaces ad-hoc mutable counter fields with a string-keyed registry:
+    any subsystem can mint a counter by incrementing it, and consumers
+    enumerate whatever exists — no record edit per new metric.  Reads of
+    absent counters are 0, so producers and consumers stay decoupled.
+
+    Naming convention (dotted hierarchy): ["sys.app"], ["sys.nr.<n>"],
+    ["sud.block"], ["ptrace.stop"], ["trap.fault"], ... *)
+
+type t = { tbl : (string, int ref) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.tbl name (ref by)
+
+let get t name = match Hashtbl.find_opt t.tbl name with Some r -> !r | None -> 0
+
+let clear t = Hashtbl.reset t.tbl
+
+(** All counters, sorted by name — the only enumeration order offered,
+    so rendered output is deterministic regardless of hash order. *)
+let to_alist t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Merge [src] into [dst] (sum on collision).  Used to aggregate
+    per-process registries into a world summary. *)
+let merge_into ~dst src = List.iter (fun (k, v) -> incr ~by:v dst k) (to_alist src)

@@ -1,0 +1,62 @@
+(** ktrace event taxonomy.
+
+    One structured, cycle-stamped record per observable kernel action.
+    Events are plain immutable data — integers and short strings only —
+    so two runs of a deterministic world produce structurally equal
+    event streams (the contract {!Trace_diff} checks).  Syscall numbers
+    are stored raw; renderers accept a [namer] to print symbolic names
+    without this library depending on the kernel's syscall table. *)
+
+type stop_kind = Entry | Exit
+
+let stop_kind_to_string = function Entry -> "entry" | Exit -> "exit"
+
+(** What happened.  [owner] strings come from the kernel's region
+    accounting ("app", "libc", "interposer", ...); [verdict] strings
+    from the seccomp evaluator ("allow", "trap", ...). *)
+type payload =
+  | Syscall_enter of { nr : int; site : int; owner : string; args : int array }
+  | Syscall_exit of { nr : int; ret : int }
+  | Signal_deliver of { signo : int; sysno : int; site : int }
+  | Sigreturn of { depth : int }  (** remaining frame depth after restore *)
+  | Sud_toggle of { armed : bool; sel_addr : int; allow_lo : int; allow_hi : int }
+  | Sud_block of { nr : int; site : int }  (** SUD diverted this call to SIGSYS *)
+  | Seccomp of { nr : int; verdict : string }
+  | Ptrace_stop of { kind : stop_kind; nr : int }
+  | Code_write of { addr : int; len : int }  (** cross-core code-write barrier *)
+  | Fault of { access : string; addr : int; rip : int }
+  | Exec of { path : string }  (** execve committed; per-proc counters reset *)
+  | Vdso_call of { sym : string }  (** user-space fast path, no kernel entry *)
+  | Sched_switch of { core : int }  (** a different thread started on [core] *)
+  | Annot of string  (** free-form tag (mechanism launches use "mech:...") *)
+
+type t = {
+  ev_cycles : int;  (** issuing core's cycle counter at emission *)
+  ev_pid : int;  (** 0 for events with no process context *)
+  ev_tid : int;
+  ev_payload : payload;
+}
+
+let make ~cycles ~pid ~tid payload =
+  { ev_cycles = cycles; ev_pid = pid; ev_tid = tid; ev_payload = payload }
+
+(** Short kind tag, used as the JSON ["ev"] field and as the default
+    per-event counter name. *)
+let kind = function
+  | Syscall_enter _ -> "syscall_enter"
+  | Syscall_exit _ -> "syscall_exit"
+  | Signal_deliver _ -> "signal_deliver"
+  | Sigreturn _ -> "sigreturn"
+  | Sud_toggle _ -> "sud_toggle"
+  | Sud_block _ -> "sud_block"
+  | Seccomp _ -> "seccomp"
+  | Ptrace_stop _ -> "ptrace_stop"
+  | Code_write _ -> "code_write"
+  | Fault _ -> "fault"
+  | Exec _ -> "exec"
+  | Vdso_call _ -> "vdso_call"
+  | Sched_switch _ -> "sched_switch"
+  | Annot _ -> "annot"
+
+(** Structural equality (int arrays compared element-wise). *)
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,48 @@
+(** Bounded ring buffer, overwrite-oldest.
+
+    The ktrace event sink: a fixed-capacity circular array that keeps
+    the most recent [capacity] entries and counts what it evicted.
+    Overwriting (rather than blocking or growing) keeps recording
+    allocation-free at steady state and makes the memory bound explicit
+    — the same design as the kernel's own trace ring and rr's event
+    buffers. *)
+
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable next : int;  (** slot the next push writes *)
+  mutable len : int;  (** live entries, <= cap *)
+  mutable dropped : int;  (** entries overwritten since creation/clear *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; cap = capacity; next = 0; len = 0; dropped = 0 }
+
+let capacity r = r.cap
+let length r = r.len
+let dropped r = r.dropped
+
+let push r x =
+  if r.len = r.cap then r.dropped <- r.dropped + 1 else r.len <- r.len + 1;
+  r.buf.(r.next) <- Some x;
+  r.next <- (r.next + 1) mod r.cap
+
+let clear r =
+  Array.fill r.buf 0 r.cap None;
+  r.next <- 0;
+  r.len <- 0;
+  r.dropped <- 0
+
+(** Oldest-first snapshot of the live entries. *)
+let to_list r =
+  let start = (r.next - r.len + r.cap) mod r.cap in
+  List.init r.len (fun i ->
+      match r.buf.((start + i) mod r.cap) with
+      | Some x -> x
+      | None -> invalid_arg "Ring.to_list: corrupt ring")
+
+(** Oldest-first fold without materialising a list. *)
+let fold f acc r = List.fold_left f acc (to_list r)
+
+let iter f r = List.iter f (to_list r)

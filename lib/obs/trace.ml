@@ -1,0 +1,36 @@
+(** The ktrace sink: a bounded event ring plus world-level counters.
+
+    A world owns at most one [Trace.t]; the kernel guards every
+    emission site with a single [match] on that option field, so a
+    world with tracing off pays one branch and zero allocation per
+    would-be event (the "zero-overhead when disabled" contract,
+    verified by the simperf numbers in EXPERIMENTS.md). *)
+
+type t = {
+  ring : Event.t Ring.t;
+  counters : Counters.t;
+      (** world-level named counters: lifetime totals, never reset by
+          execve (unlike the per-process registry in [Kern.counters]) *)
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  { ring = Ring.create ~capacity; counters = Counters.create () }
+
+let emit t ~cycles ~pid ~tid payload =
+  Ring.push t.ring (Event.make ~cycles ~pid ~tid payload)
+
+(** Record an already-built event (lets a caller share one event value
+    between the ring and another consumer, e.g. a debug renderer). *)
+let push t ev = Ring.push t.ring ev
+
+(** Oldest-first snapshot of the retained events. *)
+let events t = Ring.to_list t.ring
+
+let dropped t = Ring.dropped t.ring
+let event_count t = Ring.length t.ring + Ring.dropped t.ring
+
+let clear t =
+  Ring.clear t.ring;
+  Counters.clear t.counters

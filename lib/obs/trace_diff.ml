@@ -1,0 +1,52 @@
+(** Event-stream comparison: the determinism checker.
+
+    Two runs of the same seeded world must produce structurally equal
+    event streams; [diff] finds the first divergence and reports it
+    with enough context to debug (index, both events, a few
+    predecessors).  This is the rr-style divergence check turned into a
+    library: the determinism test asserts [Identical], and a future
+    record/replay harness can bisect with the reported index. *)
+
+type divergence = {
+  index : int;  (** first differing position *)
+  left : Event.t option;  (** [None] = stream ended early *)
+  right : Event.t option;
+  context : Event.t list;  (** up to [context_len] shared events before the split *)
+}
+
+type verdict = Identical of int  (** stream length *) | Diverged of divergence
+
+let context_len = 5
+
+let diff (a : Event.t list) (b : Event.t list) : verdict =
+  let rec go i ctx a b =
+    match (a, b) with
+    | [], [] -> Identical i
+    | x :: a', y :: b' when Event.equal x y ->
+      (* keep the most recent [context_len] shared events, newest first *)
+      let keep = List.filteri (fun j _ -> j < context_len - 1) ctx in
+      go (i + 1) (x :: keep) a' b'
+    | _ ->
+      let hd = function [] -> None | x :: _ -> Some x in
+      Diverged { index = i; left = hd a; right = hd b; context = List.rev ctx }
+  in
+  go 0 [] a b
+
+let is_identical = function Identical _ -> true | Diverged _ -> false
+
+let render ?namer verdict =
+  match verdict with
+  | Identical n -> Printf.sprintf "identical (%d events)\n" n
+  | Diverged { index; left; right; context } ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "streams diverge at event %d\n" index);
+    List.iter
+      (fun e -> Buffer.add_string buf (Printf.sprintf "  ... %s\n" (Render.human_event ?namer e)))
+      context;
+    let side tag = function
+      | Some e -> Buffer.add_string buf (Printf.sprintf "  %s: %s\n" tag (Render.human_event ?namer e))
+      | None -> Buffer.add_string buf (Printf.sprintf "  %s: <end of stream>\n" tag)
+    in
+    side "left " left;
+    side "right" right;
+    Buffer.contents buf

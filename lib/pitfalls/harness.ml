@@ -63,9 +63,13 @@ let launch_under sys w ~path ?argv () =
   | K23_sys -> K23.launch w ~variant:K23.Ultra ~path ?argv ()
 
 (** Run one PoC under one system.  For K23, the offline phase runs
-    first with benign arguments, then the logs are sealed. *)
-let run_poc sys ~path ?argv ?quantum ?(max_steps = 30_000_000) () =
+    first with benign arguments, then the logs are sealed.
+    [~ktrace:true] records the run's event stream and named counters
+    (read them back via [w.Kern.ktrace]); recording stays off by
+    default so Table 3 regeneration pays nothing. *)
+let run_poc sys ~path ?argv ?quantum ?(ktrace = false) ?(max_steps = 30_000_000) () =
   let w = fresh_world ?quantum () in
+  if ktrace then ignore (Kern.ktrace_enable w);
   (match sys with
   | K23_sys ->
     ignore (K23.offline_run w ~path ());

@@ -28,15 +28,30 @@ let geomean xs =
   match xs with
   | [] -> invalid_arg "Stats.geomean: empty"
   | _ ->
+    (* log of a non-positive sample is nan/-inf and would silently
+       poison the whole mean; overhead ratios are positive by
+       construction, so a bad sample is a harness bug — fail loudly. *)
+    List.iter
+      (fun x ->
+        if not (Float.is_finite x) || x <= 0.0 then
+          invalid_arg
+            (Printf.sprintf "Stats.geomean: non-positive or non-finite sample %g" x))
+      xs;
     let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
     exp (logsum /. float_of_int (List.length xs))
 
 (** Drop one minimum and one maximum element (the paper's outlier rule).
     Lists shorter than 3 are returned unchanged. *)
 let drop_outliers xs =
+  (* Polymorphic [compare] orders nan below every float, so a nan
+     sample used to masquerade as the minimum and evict a real run.
+     There is no meaningful min/max with nan present — reject it. *)
+  List.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.drop_outliers: nan sample")
+    xs;
   if List.length xs < 3 then xs
   else
-    let sorted = List.sort compare xs in
+    let sorted = List.sort Float.compare xs in
     match sorted with
     | _min :: rest ->
       (match List.rev rest with _max :: kept -> List.rev kept | [] -> rest)

@@ -6,7 +6,11 @@ val mean : float list -> float
 val stddev : float list -> float
 val stddev_pct : float list -> float
 val geomean : float list -> float
+(** Geometric mean.  Raises [Invalid_argument] on an empty list or on
+    any non-finite or non-positive sample (whose log would silently
+    poison the result with nan). *)
 
 val drop_outliers : float list -> float list
 (** Drop one minimum and one maximum; lists shorter than 3 are
-    returned unchanged. *)
+    returned unchanged.  Raises [Invalid_argument] if any sample is
+    nan (min/max are meaningless under nan). *)

@@ -1,0 +1,247 @@
+(* ktrace observability subsystem (lib/obs) plus the satellite fixes
+   that ride along with it: the Net.Byteq two-list queue and the
+   Stats nan/non-positive hardening. *)
+
+open K23_kernel
+module Ring = K23_obs.Ring
+module Counters = K23_obs.Counters
+module Event = K23_obs.Event
+module Trace = K23_obs.Trace
+module Trace_diff = K23_obs.Trace_diff
+module Render = K23_obs.Render
+module Stats = K23_util.Stats
+module H = K23_pitfalls.Harness
+
+(* --- ring buffer ---------------------------------------------------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Ring.capacity r);
+  Alcotest.(check (list int)) "empty" [] (Ring.to_list r);
+  Ring.push r 1;
+  Ring.push r 2;
+  Ring.push r 3;
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ] (Ring.to_list r);
+  Alcotest.(check int) "nothing dropped" 0 (Ring.dropped r)
+
+let test_ring_overflow () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  Alcotest.(check (list int)) "keeps the newest, oldest first" [ 7; 8; 9; 10 ] (Ring.to_list r);
+  Alcotest.(check int) "length capped" 4 (Ring.length r);
+  Alcotest.(check int) "evictions counted" 6 (Ring.dropped r);
+  Ring.clear r;
+  Alcotest.(check (list int)) "clear empties" [] (Ring.to_list r);
+  Alcotest.(check int) "clear resets dropped" 0 (Ring.dropped r)
+
+let test_ring_bad_capacity () =
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Ring.create ~capacity:0))
+
+(* ring overflow through the real recording path: a tiny ring under a
+   real run retains exactly [capacity] events and counts the rest *)
+let test_ring_overflow_live () =
+  let w = K23_userland.Sim.create_world ~seed:3 () in
+  K23_apps.Coreutils.register_all w;
+  let t = Kern.ktrace_enable ~capacity:16 w in
+  (match K23_baselines.Zpoline.launch w ~variant:K23_baselines.Zpoline.Default ~path:"/bin/ls" ()
+   with
+  | Error e -> Alcotest.failf "launch: %d" e
+  | Ok (p, _) -> World.run_until_exit w p);
+  Alcotest.(check int) "ring full" 16 (List.length (Trace.events t));
+  Alcotest.(check bool) "overflow happened" true (Trace.dropped t > 0);
+  Alcotest.(check int) "event_count = live + dropped" (Trace.event_count t)
+    (16 + Trace.dropped t)
+
+(* --- counter registry ----------------------------------------------- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Alcotest.(check int) "absent reads 0" 0 (Counters.get c "nope");
+  Counters.incr c "a";
+  Counters.incr c "a";
+  Counters.incr ~by:5 c "b";
+  Alcotest.(check int) "incr" 2 (Counters.get c "a");
+  Alcotest.(check (list (pair string int))) "sorted alist" [ ("a", 2); ("b", 5) ]
+    (Counters.to_alist c);
+  let d = Counters.create () in
+  Counters.incr ~by:3 d "a";
+  Counters.merge_into ~dst:c d;
+  Alcotest.(check int) "merge sums" 5 (Counters.get c "a");
+  Counters.clear c;
+  Alcotest.(check (list (pair string int))) "clear" [] (Counters.to_alist c)
+
+(* --- trace-diff ------------------------------------------------------ *)
+
+let ev i payload = Event.make ~cycles:(100 * i) ~pid:1 ~tid:1 payload
+
+let test_trace_diff () =
+  let mk n = List.init n (fun i -> ev i (Event.Annot (string_of_int i))) in
+  (match Trace_diff.diff (mk 8) (mk 8) with
+  | Trace_diff.Identical n -> Alcotest.(check int) "length reported" 8 n
+  | Trace_diff.Diverged _ -> Alcotest.fail "equal streams reported as diverged");
+  (* point divergence *)
+  let left = mk 8 in
+  let right = List.mapi (fun i e -> if i = 5 then ev i (Event.Annot "x") else e) left in
+  (match Trace_diff.diff left right with
+  | Trace_diff.Identical _ -> Alcotest.fail "diverged streams reported identical"
+  | Trace_diff.Diverged d ->
+    Alcotest.(check int) "first divergence index" 5 d.Trace_diff.index;
+    Alcotest.(check bool) "both sides present" true
+      (d.Trace_diff.left <> None && d.Trace_diff.right <> None);
+    Alcotest.(check int) "context bounded to context_len" Trace_diff.context_len
+      (List.length d.Trace_diff.context));
+  (* length divergence: one stream is a strict prefix *)
+  match Trace_diff.diff (mk 8) (mk 6) with
+  | Trace_diff.Identical _ -> Alcotest.fail "prefix streams reported identical"
+  | Trace_diff.Diverged d ->
+    Alcotest.(check int) "diverges at the shorter end" 6 d.Trace_diff.index;
+    Alcotest.(check bool) "right ended" true (d.Trace_diff.right = None)
+
+let test_render_json_shape () =
+  let events =
+    [
+      ev 0 (Event.Syscall_enter { nr = 1; site = 0x1000; owner = "app"; args = [| 7; 8; 9 |] });
+      ev 1 (Event.Syscall_exit { nr = 1; ret = -2 });
+      ev 2 (Event.Annot "mech:\"quoted\"");
+    ]
+  in
+  let s = Render.json_stream ~namer:string_of_int ~counters:[ ("sys.app", 1) ] ~dropped:0 events in
+  Alcotest.(check bool) "object shape" true
+    (String.length s > 2 && s.[0] = '{' && String.sub s (String.length s - 2) 2 = "}\n");
+  Alcotest.(check bool) "quotes escaped" true
+    (not (String.length s = 0)
+    && (let ok = ref false in
+        String.iteri (fun i c -> if c = '\\' && i + 1 < String.length s && s.[i + 1] = '"' then ok := true) s;
+        !ok))
+
+(* --- counters parity with the legacy record (Table 3 workloads) ------ *)
+
+let check_parity (p : Kern.proc) =
+  let named n = Counters.get p.Kern.counters.Kern.c_named n in
+  Alcotest.(check int) "sys.app = c_app" p.Kern.counters.Kern.c_app (named "sys.app");
+  Alcotest.(check int) "sys.interposer = c_interposer" p.Kern.counters.Kern.c_interposer
+    (named "sys.interposer");
+  Alcotest.(check int) "sys.startup = c_startup" p.Kern.counters.Kern.c_startup
+    (named "sys.startup");
+  Alcotest.(check int) "sys.vdso = c_vdso" p.Kern.counters.Kern.c_vdso (named "sys.vdso")
+
+let test_counter_parity () =
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun (path, argv) ->
+          let _, p, _ = H.run_poc sys ~path ?argv ~ktrace:true () in
+          check_parity p)
+        [
+          (K23_pitfalls.Pocs.p1a_path, None);
+          (K23_pitfalls.Pocs.p2b_path, None);
+          (K23_pitfalls.Pocs.p3a_path, None);
+          (K23_pitfalls.Pocs.target_path, None);
+        ])
+    [ H.Zpoline; H.Lazypoline; H.K23_sys ]
+
+(* parity only holds while tracing is on; with tracing off the named
+   registry must stay empty (the zero-overhead contract is also a
+   zero-side-effect contract) *)
+let test_counters_off_by_default () =
+  let _, p, _ = H.run_poc H.Zpoline ~path:K23_pitfalls.Pocs.target_path () in
+  Alcotest.(check (list (pair string int))) "no named counters without ktrace" []
+    (Counters.to_alist p.Kern.counters.Kern.c_named)
+
+(* --- Net.Byteq: two-list queue parity -------------------------------- *)
+
+(* reference model: a plain byte list *)
+let test_byteq_parity () =
+  let q = Net.Byteq.create () in
+  let model = Buffer.create 256 in
+  let consumed = ref 0 in
+  let rng = ref 12345 in
+  let rand m =
+    rng := ((!rng * 1103515245) + 12345) land 0x3fffffff;
+    !rng mod m
+  in
+  let pending () = Buffer.length model - !consumed in
+  for _step = 1 to 2000 do
+    if rand 2 = 0 then begin
+      (* push a chunk, possibly empty *)
+      let n = rand 17 in
+      let b = Bytes.init n (fun _ -> Char.chr (rand 256)) in
+      Net.Byteq.push q b;
+      Buffer.add_bytes model b
+    end
+    else begin
+      let want = rand 23 in
+      let got = Net.Byteq.pop q want in
+      let expect = min want (pending ()) in
+      Alcotest.(check int) "pop size" expect (Bytes.length got);
+      Alcotest.(check string) "pop bytes in FIFO order"
+        (Buffer.sub model !consumed expect)
+        (Bytes.to_string got);
+      consumed := !consumed + expect
+    end;
+    Alcotest.(check int) "length tracks model" (pending ()) (Net.Byteq.length q)
+  done;
+  (* drain *)
+  let rest = Net.Byteq.pop q max_int in
+  Alcotest.(check string) "drain" (Buffer.sub model !consumed (pending ())) (Bytes.to_string rest);
+  Alcotest.(check int) "empty" 0 (Net.Byteq.length q)
+
+(* a large push burst must be far from quadratic: 20k chunks in well
+   under a second even on a slow box *)
+let test_byteq_push_linear () =
+  let q = Net.Byteq.create () in
+  let t0 = Sys.time () in
+  for _ = 1 to 20_000 do
+    Net.Byteq.push q (Bytes.make 8 'x')
+  done;
+  let dt = Sys.time () -. t0 in
+  Alcotest.(check int) "all bytes queued" 160_000 (Net.Byteq.length q);
+  Alcotest.(check bool) "push burst is not quadratic" true (dt < 1.0)
+
+(* --- Stats hardening -------------------------------------------------- *)
+
+let test_stats_geomean_guard () =
+  Alcotest.(check (float 1e-9)) "geomean ok" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  let raises xs =
+    match Stats.geomean xs with
+    | exception Invalid_argument _ -> true
+    | (_ : float) -> false
+  in
+  Alcotest.(check bool) "zero rejected" true (raises [ 1.0; 0.0 ]);
+  Alcotest.(check bool) "negative rejected" true (raises [ 1.0; -2.0 ]);
+  Alcotest.(check bool) "nan rejected" true (raises [ 1.0; Float.nan ]);
+  Alcotest.(check bool) "inf rejected" true (raises [ 1.0; Float.infinity ])
+
+let test_stats_drop_outliers_guard () =
+  Alcotest.(check (list (float 1e-9))) "normal drop" [ 2.0; 3.0 ]
+    (Stats.drop_outliers [ 3.0; 1.0; 2.0; 9.0 ]);
+  (* negatives sort correctly with Float.compare *)
+  Alcotest.(check (list (float 1e-9))) "negative samples" [ -1.0; 2.0 ]
+    (Stats.drop_outliers [ 2.0; -3.0; -1.0; 9.0 ]);
+  match Stats.drop_outliers [ 1.0; Float.nan; 2.0; 3.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan sample must be rejected"
+
+let tests =
+  ( "obs (ktrace)",
+    [
+      Alcotest.test_case "ring basic" `Quick test_ring_basic;
+      Alcotest.test_case "ring overwrites oldest" `Quick test_ring_overflow;
+      Alcotest.test_case "ring rejects bad capacity" `Quick test_ring_bad_capacity;
+      Alcotest.test_case "ring overflow on a live run" `Quick test_ring_overflow_live;
+      Alcotest.test_case "counter registry" `Quick test_counters;
+      Alcotest.test_case "trace-diff verdicts" `Quick test_trace_diff;
+      Alcotest.test_case "json stream shape" `Quick test_render_json_shape;
+      Alcotest.test_case "named counters match legacy record (Table 3 apps)" `Slow
+        test_counter_parity;
+      Alcotest.test_case "named counters empty when tracing off" `Quick
+        test_counters_off_by_default;
+      Alcotest.test_case "Byteq matches byte-stream model" `Quick test_byteq_parity;
+      Alcotest.test_case "Byteq push burst linear" `Quick test_byteq_push_linear;
+      Alcotest.test_case "geomean input guard" `Quick test_stats_geomean_guard;
+      Alcotest.test_case "drop_outliers nan guard" `Quick test_stats_drop_outliers_guard;
+    ] )
