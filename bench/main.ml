@@ -110,6 +110,30 @@ let seccomp () =
   section "extension - seccomp-based interposition (the third Linux interface)";
   print_string (Contrast.render_seccomp (Contrast.seccomp_micro ()))
 
+(* Fuzzer throughput + coverage: how many differential executions per
+   second the oracle sustains, and what the generator's opcode and
+   syscall distributions look like.  Timing stays in this harness —
+   the campaign report itself is deterministic. *)
+let fuzz ~quick () =
+  let module F = K23_fuzz in
+  section "fuzz - differential conformance fuzzer (throughput & coverage)";
+  let iters = if quick then 50 else 300 in
+  let config = { F.Campaign.default_config with c_iters = iters } in
+  let t0 = Sys.time () in
+  let r = F.Campaign.run config in
+  let dt = Sys.time () -. t0 in
+  print_string (F.Campaign.render_text r);
+  Printf.printf "throughput: %d oracle runs in %.2fs (%.0f execs/sec)\n" r.F.Campaign.r_runs dt
+    (float_of_int r.F.Campaign.r_runs /. dt);
+  Printf.printf "\nopcode coverage (%d static insns):\n" r.F.Campaign.r_insns;
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-10s %6d\n" k v)
+    r.F.Campaign.r_insn_hist;
+  Printf.printf "\nsyscall coverage:\n";
+  List.iter
+    (fun (nr, v) -> Printf.printf "  %-14s %6d\n" (K23_kernel.Sysno.name nr) v)
+    r.F.Campaign.r_sys_hist
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
@@ -149,5 +173,6 @@ let () =
       | "arm" -> arm ()
       | "simperf" -> simperf ~quick ?json ()
       | "ktrace" -> ktrace ~quick ()
+      | "fuzz" -> fuzz ~quick ()
       | other -> Printf.eprintf "unknown experiment %S\n" other)
     experiments

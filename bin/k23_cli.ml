@@ -37,6 +37,8 @@ let mech_conv =
     | "k23-ultra" -> Ok K23_eval.Mech.K23_ultra
     | "k23-ultra+" -> Ok K23_eval.Mech.K23_ultra_plus
     | "sud" -> Ok K23_eval.Mech.Sud
+    | "ptrace" -> Ok K23_eval.Mech.Ptrace
+    | "seccomp" -> Ok K23_eval.Mech.Seccomp
     | other -> Error (`Msg (Printf.sprintf "unknown mechanism %S" other))
   in
   Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (K23_eval.Mech.to_string m))
@@ -188,6 +190,105 @@ let pitfalls_cmd =
     (Cmd.info "pitfalls" ~doc:"Run the P1-P5 PoCs; print the Table 3 matrix.")
     Term.(const run $ const ())
 
+let fuzz_cmd =
+  let module F = K23_fuzz in
+  let seed =
+    Arg.(
+      value & opt int 23
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed; determines every generated program.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 100
+      & info [ "iters"; "n" ] ~docv:"N" ~doc:"Number of programs to generate and check.")
+  in
+  let mech =
+    Arg.(
+      value
+      & opt (some mech_conv) None
+      & info [ "mech"; "m" ] ~docv:"MECH"
+          ~doc:
+            "Check only this mechanism (default: zpoline-ultra, lazypoline, sud, ptrace, \
+             seccomp, k23-ultra).")
+  in
+  let shapes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shapes" ] ~docv:"S1,S2"
+          ~doc:
+            "Comma-separated hazard shapes: raw, embedded, straddle, smc, fork, signal, plus the \
+             opt-in divergent shapes null-call and execve-scrub.  Default: the conformance-safe \
+             mix.")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ] ~doc:"Shrink each divergence to a minimal repro (delta debugging).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"With $(b,--minimize): write each minimized repro to DIR as a corpus file.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the campaign report as JSON.") in
+  let run seed iters mech shapes minimize save json =
+    let shapes =
+      match shapes with
+      | None -> F.Gen.default_shapes
+      | Some s ->
+        String.split_on_char ',' s
+        |> List.map (fun name ->
+               match F.Gen.shape_of_string (String.trim name) with
+               | Some sh -> sh
+               | None ->
+                 Printf.eprintf "unknown shape %S\n" name;
+                 Stdlib.exit 2)
+    in
+    let mechs = match mech with None -> F.Oracle.default_mechs | Some m -> [ m ] in
+    let config =
+      {
+        F.Campaign.default_config with
+        c_seed = seed;
+        c_iters = iters;
+        c_mechs = mechs;
+        c_shapes = shapes;
+        c_minimize = minimize;
+      }
+    in
+    let report = F.Campaign.run config in
+    if json then print_string (F.Campaign.render_json report)
+    else print_string (F.Campaign.render_text report);
+    (match save with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iteri
+        (fun i (f : F.Campaign.finding) ->
+          match f.f_minimized with
+          | None -> ()
+          | Some e ->
+            let name =
+              Printf.sprintf "%s-seed%d-%d.repro"
+                (K23_eval.Mech.to_string f.f_mech)
+                f.f_prog_seed i
+            in
+            let path = Filename.concat dir name in
+            F.Corpus.save ~path e;
+            Printf.eprintf "saved %s\n" path)
+        report.r_findings);
+    if F.Campaign.total_divergences report > 0 then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential conformance fuzzing: run seeded adversarial programs natively and under \
+          interposition mechanisms; any observable difference is a mechanism bug.  Exit status 1 \
+          if divergences were found.")
+    Term.(const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json)
+
 let apps_cmd =
   let run () = List.iter (fun (n, _, _) -> Printf.printf "%s\n" n) Apps.Coreutils.all in
   Cmd.v (Cmd.info "apps" ~doc:"List bundled applications.") Term.(const run $ const ())
@@ -197,4 +298,5 @@ let () =
     Cmd.info "k23" ~version:"1.0.0"
       ~doc:"K23 system call interposition on a simulated x86-64/Linux substrate"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; offline_cmd; pitfalls_cmd; apps_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; offline_cmd; pitfalls_cmd; fuzz_cmd; apps_cmd ]))

@@ -5,6 +5,8 @@ open K23_kernel
 module Zp = K23_baselines.Zpoline
 module Lp = K23_baselines.Lazypoline
 module Sud = K23_baselines.Sud_interposer
+module Pt = K23_baselines.Ptrace_interposer
+module Sc = K23_baselines.Seccomp_interposer
 module K23 = K23_core.K23
 
 type t =
@@ -17,6 +19,8 @@ type t =
   | K23_ultra_plus
   | Sud_no_interposition  (** SUD armed, selector left on ALLOW *)
   | Sud
+  | Ptrace  (** host-agent tracer, entry/exit stops (Section 2.1) *)
+  | Seccomp  (** SECCOMP_RET_TRAP outside the interposer's text *)
 
 let to_string = function
   | Native -> "native"
@@ -28,6 +32,8 @@ let to_string = function
   | K23_ultra_plus -> "K23-ultra+"
   | Sud_no_interposition -> "SUD-no-interposition"
   | Sud -> "SUD"
+  | Ptrace -> "ptrace"
+  | Seccomp -> "seccomp"
 
 (** Table 5 rows, in the paper's order. *)
 let table5_rows =
@@ -48,7 +54,9 @@ let table6_cols =
 
 let needs_offline = function
   | K23_default | K23_ultra | K23_ultra_plus -> true
-  | Native | Zpoline_default | Zpoline_ultra | Lazypoline | Sud | Sud_no_interposition -> false
+  | Native | Zpoline_default | Zpoline_ultra | Lazypoline | Sud | Sud_no_interposition | Ptrace
+  | Seccomp ->
+    false
 
 (** Launch [path] under the mechanism.  Returns the process (and the
     interposition stats for non-native mechanisms). *)
@@ -65,3 +73,5 @@ let launch mech w ~path ?argv ?env () =
   | K23_ultra_plus -> ok (K23.launch w ~variant:K23.Ultra_plus ~path ?argv ?env ())
   | Sud -> ok (Sud.launch w ~interpose_on:true ~path ?argv ?env ())
   | Sud_no_interposition -> ok (Sud.launch w ~interpose_on:false ~path ?argv ?env ())
+  | Ptrace -> ok (Pt.launch w ~path ?argv ?env ())
+  | Seccomp -> ok (Sc.launch w ~path ?argv ?env ())

@@ -1,0 +1,256 @@
+(** Fuzzing campaigns: generate [iters] programs from a seed, run each
+    through the differential oracle against a set of mechanisms, and
+    collect divergences plus coverage statistics into a report.
+
+    Everything in the report is a pure function of the configuration —
+    per-iteration program seeds are derived from the campaign seed, the
+    oracle worlds use a fixed world seed, and the report carries no
+    timing — so the same seed renders byte-identical JSON on every
+    machine.  Throughput (execs/sec) is measured by the bench harness
+    around this module, never inside the report. *)
+
+module Mech = K23_eval.Mech
+module Rng = K23_util.Rng
+
+type config = {
+  c_seed : int;
+  c_iters : int;
+  c_mechs : Mech.t list;
+  c_shapes : Gen.shape list;
+  c_minimize : bool;  (** shrink each divergence to a minimal repro *)
+  c_world_seed : int;
+  c_max_steps : int;
+}
+
+let default_config =
+  {
+    c_seed = 23;
+    c_iters = 100;
+    c_mechs = Oracle.default_mechs;
+    c_shapes = Gen.default_shapes;
+    c_minimize = false;
+    c_world_seed = Oracle.default_world_seed;
+    c_max_steps = Oracle.default_max_steps;
+  }
+
+(** Per-iteration program seed: decoupled from iteration order only by
+    the campaign seed, so any iteration can be replayed alone. *)
+let iter_seed config i = (config.c_seed * 1_000_003) + i
+
+type finding = {
+  f_iter : int;
+  f_prog_seed : int;
+  f_mech : Mech.t;
+  f_divergence : Oracle.divergence;
+  f_shapes : Gen.shape list;
+  f_minimized : Corpus.entry option;  (** present when [c_minimize] *)
+  f_min_insns : int option;
+}
+
+type report = {
+  r_config : config;
+  r_programs : int;
+  r_runs : int;  (** oracle executions, native reference included *)
+  r_insns : int;  (** static instructions generated *)
+  r_divergent : (Mech.t * int) list;  (** per mechanism, campaign total *)
+  r_findings : finding list;
+  r_insn_hist : (string * int) list;
+  r_sys_hist : (int * int) list;
+}
+
+let total_divergences r = List.fold_left (fun a (_, n) -> a + n) 0 r.r_divergent
+
+(** Run a campaign.  [on_finding] fires as divergences are found (for
+    live CLI output); the report is assembled at the end. *)
+let run ?(on_finding = fun (_ : finding) -> ()) config =
+  let progs = ref [] in
+  let findings = ref [] in
+  let runs = ref 0 in
+  let counts = List.map (fun m -> (m, ref 0)) config.c_mechs in
+  for i = 0 to config.c_iters - 1 do
+    let pseed = iter_seed config i in
+    let rng = Rng.create ~seed:pseed in
+    let prog = Gen.generate ~shapes:config.c_shapes rng in
+    progs := prog :: !progs;
+    incr runs;
+    match
+      Oracle.run ~world_seed:config.c_world_seed ~max_steps:config.c_max_steps ~mech:Mech.Native
+        prog.Gen.items
+    with
+    | Oracle.Launch_failed e ->
+      failwith (Printf.sprintf "fuzz iter %d: native launch failed (%d)" i e)
+    | Oracle.Ok_run native ->
+      List.iter
+        (fun mech ->
+          incr runs;
+          let dv =
+            match
+              Oracle.run ~world_seed:config.c_world_seed ~max_steps:config.c_max_steps ~mech
+                prog.Gen.items
+            with
+            | Oracle.Launch_failed e ->
+              Some
+                {
+                  Oracle.d_mech = Mech.to_string mech;
+                  d_where = "launch";
+                  d_native = "ok";
+                  d_mech_val = Printf.sprintf "error %d" e;
+                }
+            | Oracle.Ok_run m -> Oracle.compare_projected ~mech native m
+          in
+          match dv with
+          | None -> ()
+          | Some d ->
+            incr (List.assoc mech counts);
+            let minimized, min_insns =
+              if not config.c_minimize then (None, None)
+              else
+                match
+                  Shrink.minimize ~world_seed:config.c_world_seed
+                    ~max_steps:config.c_max_steps ~mech prog.Gen.items
+                with
+                | None -> (None, None)
+                | Some r ->
+                  ( Some
+                      {
+                        Corpus.e_mech = mech;
+                        e_seed = pseed;
+                        e_expect = Oracle.render_divergence r.Shrink.divergence;
+                        e_items = r.Shrink.items;
+                      },
+                    Some (Gen.insn_count r.Shrink.items) )
+            in
+            let f =
+              {
+                f_iter = i;
+                f_prog_seed = pseed;
+                f_mech = mech;
+                f_divergence = d;
+                f_shapes = prog.Gen.shapes;
+                f_minimized = minimized;
+                f_min_insns = min_insns;
+              }
+            in
+            findings := f :: !findings;
+            on_finding f)
+        config.c_mechs
+  done;
+  let progs = List.rev !progs in
+  {
+    r_config = config;
+    r_programs = List.length progs;
+    r_runs = !runs;
+    r_insns = List.fold_left (fun a p -> a + Gen.insn_count p.Gen.items) 0 progs;
+    r_divergent = List.map (fun (m, c) -> (m, !c)) counts;
+    r_findings = List.rev !findings;
+    r_insn_hist = Gen.insn_histogram progs;
+    r_sys_hist = Gen.syscall_histogram progs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Deterministic JSON: fixed key order, no timing, no floats. *)
+let render_json (r : report) =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add (Printf.sprintf "  \"seed\": %d,\n" r.r_config.c_seed);
+  add (Printf.sprintf "  \"iters\": %d,\n" r.r_config.c_iters);
+  add
+    (Printf.sprintf "  \"shapes\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun s -> "\"" ^ Gen.shape_to_string s ^ "\"") r.r_config.c_shapes)));
+  add
+    (Printf.sprintf "  \"mechs\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun m -> "\"" ^ Mech.to_string m ^ "\"") r.r_config.c_mechs)));
+  add (Printf.sprintf "  \"programs\": %d,\n" r.r_programs);
+  add (Printf.sprintf "  \"runs\": %d,\n" r.r_runs);
+  add (Printf.sprintf "  \"insns\": %d,\n" r.r_insns);
+  add (Printf.sprintf "  \"divergences\": %d,\n" (total_divergences r));
+  add "  \"divergent_by_mech\": {";
+  add
+    (String.concat ", "
+       (List.map
+          (fun (m, n) -> Printf.sprintf "\"%s\": %d" (Mech.to_string m) n)
+          r.r_divergent));
+  add "},\n";
+  add "  \"findings\": [\n";
+  List.iteri
+    (fun i f ->
+      add
+        (Printf.sprintf
+           "    {\"iter\": %d, \"prog_seed\": %d, \"mech\": \"%s\", \"shapes\": [%s], \
+            \"divergence\": \"%s\"%s}%s\n"
+           f.f_iter f.f_prog_seed (Mech.to_string f.f_mech)
+           (String.concat ", "
+              (List.map (fun s -> "\"" ^ Gen.shape_to_string s ^ "\"") f.f_shapes))
+           (json_escape (Oracle.render_divergence f.f_divergence))
+           (match f.f_min_insns with
+           | None -> ""
+           | Some n -> Printf.sprintf ", \"min_insns\": %d" n)
+           (if i = List.length r.r_findings - 1 then "" else ",")))
+    r.r_findings;
+  add "  ],\n";
+  add "  \"insn_histogram\": {";
+  add
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) r.r_insn_hist));
+  add "},\n";
+  add "  \"syscall_histogram\": {";
+  add
+    (String.concat ", "
+       (List.map
+          (fun (nr, v) -> Printf.sprintf "\"%s\": %d" (K23_kernel.Sysno.name nr) v)
+          r.r_sys_hist));
+  add "}\n";
+  add "}\n";
+  Buffer.contents buf
+
+let render_text (r : report) =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  add
+    (Printf.sprintf "fuzz: seed=%d iters=%d programs=%d runs=%d insns=%d\n" r.r_config.c_seed
+       r.r_config.c_iters r.r_programs r.r_runs r.r_insns);
+  add
+    (Printf.sprintf "shapes: %s\n"
+       (String.concat " " (List.map Gen.shape_to_string r.r_config.c_shapes)));
+  List.iter
+    (fun (m, n) ->
+      add
+        (Printf.sprintf "  %-16s %s\n" (Mech.to_string m)
+           (if n = 0 then "conforms" else Printf.sprintf "%d DIVERGENT" n)))
+    r.r_divergent;
+  List.iter
+    (fun f ->
+      add
+        (Printf.sprintf "  iter %d (seed %d, shapes %s): %s\n" f.f_iter f.f_prog_seed
+           (String.concat "+" (List.map Gen.shape_to_string f.f_shapes))
+           (Oracle.render_divergence f.f_divergence));
+      match f.f_minimized with
+      | None -> ()
+      | Some e ->
+        add
+          (Printf.sprintf "    minimized to %d insns:\n"
+             (Option.value ~default:0 f.f_min_insns));
+        List.iter (fun it -> add ("      " ^ Corpus.item_to_line it ^ "\n")) e.Corpus.e_items)
+    r.r_findings;
+  add
+    (Printf.sprintf "total: %d divergence%s\n" (total_divergences r)
+       (if total_divergences r = 1 then "" else "s"));
+  Buffer.contents buf

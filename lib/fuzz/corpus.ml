@@ -1,0 +1,279 @@
+(** Corpus of minimized divergence reproducers.
+
+    Each repro is a standalone text file: a small header (mechanism,
+    generator seed, a one-line description of the expected divergence)
+    followed by the minimized program as an assembly listing, one item
+    per line in constructor-token form.  The format round-trips
+    exactly, so files checked in under [test/corpus/] are replayed
+    verbatim by [dune runtest]: the suite re-runs the oracle on each
+    and asserts the divergence is still detected — regression tests
+    distilled from fuzzing campaigns, in the tradition of a crash
+    corpus. *)
+
+open K23_isa
+module Mech = K23_eval.Mech
+
+type entry = {
+  e_mech : Mech.t;  (** mechanism the repro diverges under *)
+  e_seed : int;  (** generator seed that first produced it *)
+  e_expect : string;  (** rendered divergence at save time *)
+  e_items : Asm.item list;
+}
+
+exception Parse_error of string
+
+let all_mechs =
+  [
+    Mech.Native;
+    Mech.Zpoline_default;
+    Mech.Zpoline_ultra;
+    Mech.Lazypoline;
+    Mech.K23_default;
+    Mech.K23_ultra;
+    Mech.K23_ultra_plus;
+    Mech.Sud_no_interposition;
+    Mech.Sud;
+    Mech.Ptrace;
+    Mech.Seccomp;
+  ]
+
+let mech_of_string s = List.find_opt (fun m -> Mech.to_string m = s) all_mechs
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+
+let reg_to_s = Reg.to_string
+
+let reg_of_s s =
+  match List.find_opt (fun r -> Reg.to_string r = s) Reg.all with
+  | Some r -> r
+  | None -> raise (Parse_error ("bad register: " ^ s))
+
+let cond_to_s : Insn.cond -> string = function
+  | Z -> "z"
+  | NZ -> "nz"
+  | LT -> "lt"
+  | GE -> "ge"
+  | LE -> "le"
+  | GT -> "gt"
+
+let cond_of_s : string -> Insn.cond = function
+  | "z" -> Z
+  | "nz" -> NZ
+  | "lt" -> LT
+  | "ge" -> GE
+  | "le" -> LE
+  | "gt" -> GT
+  | s -> raise (Parse_error ("bad condition: " ^ s))
+
+let insn_to_line (i : Insn.t) =
+  match i with
+  | Nop -> "nop"
+  | Ret -> "ret"
+  | Int3 -> "int3"
+  | Hlt -> "hlt"
+  | Syscall -> "syscall"
+  | Sysenter -> "sysenter"
+  | Ud2 -> "ud2"
+  | Cpuid -> "cpuid"
+  | Mfence -> "mfence"
+  | Wrpkru -> "wrpkru"
+  | Rdpkru -> "rdpkru"
+  | Vcall n -> Printf.sprintf "vcall %d" n
+  | Push r -> Printf.sprintf "push %s" (reg_to_s r)
+  | Pop r -> Printf.sprintf "pop %s" (reg_to_s r)
+  | Mov_ri (r, v) -> Printf.sprintf "mov_ri %s %d" (reg_to_s r) v
+  | Mov_ri32 (r, v) -> Printf.sprintf "mov_ri32 %s %d" (reg_to_s r) v
+  | Mov_rr (d, s) -> Printf.sprintf "mov_rr %s %s" (reg_to_s d) (reg_to_s s)
+  | Add_rr (d, s) -> Printf.sprintf "add_rr %s %s" (reg_to_s d) (reg_to_s s)
+  | Sub_rr (d, s) -> Printf.sprintf "sub_rr %s %s" (reg_to_s d) (reg_to_s s)
+  | Xor_rr (d, s) -> Printf.sprintf "xor_rr %s %s" (reg_to_s d) (reg_to_s s)
+  | Test_rr (a, b) -> Printf.sprintf "test_rr %s %s" (reg_to_s a) (reg_to_s b)
+  | Cmp_rr (a, b) -> Printf.sprintf "cmp_rr %s %s" (reg_to_s a) (reg_to_s b)
+  | Add_ri (r, v) -> Printf.sprintf "add_ri %s %d" (reg_to_s r) v
+  | Sub_ri (r, v) -> Printf.sprintf "sub_ri %s %d" (reg_to_s r) v
+  | Cmp_ri (r, v) -> Printf.sprintf "cmp_ri %s %d" (reg_to_s r) v
+  | Load (d, b, o) -> Printf.sprintf "load %s %s %d" (reg_to_s d) (reg_to_s b) o
+  | Store (b, o, s) -> Printf.sprintf "store %s %d %s" (reg_to_s b) o (reg_to_s s)
+  | Load8 (d, b, o) -> Printf.sprintf "load8 %s %s %d" (reg_to_s d) (reg_to_s b) o
+  | Store8 (b, o, s) -> Printf.sprintf "store8 %s %d %s" (reg_to_s b) o (reg_to_s s)
+  | Lea (d, b, o) -> Printf.sprintf "lea %s %s %d" (reg_to_s d) (reg_to_s b) o
+  | Jmp_rel d -> Printf.sprintf "jmp_rel %d" d
+  | Call_rel d -> Printf.sprintf "call_rel %d" d
+  | Jcc (c, d) -> Printf.sprintf "jcc %s %d" (cond_to_s c) d
+  | Jmp_reg r -> Printf.sprintf "jmp_reg %s" (reg_to_s r)
+  | Call_reg r -> Printf.sprintf "call_reg %s" (reg_to_s r)
+
+let hex_of_bytes b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let bytes_of_hex s =
+  if String.length s mod 2 <> 0 then raise (Parse_error "odd hex length");
+  Bytes.init (String.length s / 2) (fun i ->
+      match int_of_string_opt ("0x" ^ String.sub s (2 * i) 2) with
+      | Some v -> Char.chr v
+      | None -> raise (Parse_error ("bad hex: " ^ s)))
+
+let item_to_line (it : Asm.item) =
+  match it with
+  | Asm.I i -> insn_to_line i
+  | Asm.Label l -> "label " ^ l
+  | Asm.Blob b -> "blob " ^ hex_of_bytes b
+  | Asm.Zeros n -> Printf.sprintf "zeros %d" n
+  | Asm.Strz s -> "strz " ^ String.escaped s
+  | Asm.Quad n -> Printf.sprintf "quad %d" n
+  | Asm.J l -> "j " ^ l
+  | Asm.Jc (c, l) -> Printf.sprintf "jc %s %s" (cond_to_s c) l
+  | Asm.Calll l -> "calll " ^ l
+  | Asm.Call_sym s -> "call_sym " ^ s
+  | Asm.Jmp_sym s -> "jmp_sym " ^ s
+  | Asm.Mov_sym (r, s) -> Printf.sprintf "mov_sym %s %s" (reg_to_s r) s
+  | Asm.Vcall_named s -> "vcall_named " ^ s
+  | Asm.Section `Text -> "section text"
+  | Asm.Section `Data -> "section data"
+  | Asm.Align n -> Printf.sprintf "align %d" n
+
+let num s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> raise (Parse_error ("bad number: " ^ s))
+
+let item_of_line line : Asm.item =
+  let line = String.trim line in
+  let tok, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  in
+  let args () = String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") in
+  match (tok, args ()) with
+  | "label", [ l ] -> Asm.Label l
+  | "blob", [ h ] -> Asm.Blob (bytes_of_hex h)
+  | "zeros", [ n ] -> Asm.Zeros (num n)
+  | "strz", _ -> Asm.Strz (Scanf.unescaped rest)
+  | "quad", [ n ] -> Asm.Quad (num n)
+  | "j", [ l ] -> Asm.J l
+  | "jc", [ c; l ] -> Asm.Jc (cond_of_s c, l)
+  | "calll", [ l ] -> Asm.Calll l
+  | "call_sym", [ s ] -> Asm.Call_sym s
+  | "jmp_sym", [ s ] -> Asm.Jmp_sym s
+  | "mov_sym", [ r; s ] -> Asm.Mov_sym (reg_of_s r, s)
+  | "vcall_named", [ s ] -> Asm.Vcall_named s
+  | "section", [ "text" ] -> Asm.Section `Text
+  | "section", [ "data" ] -> Asm.Section `Data
+  | "align", [ n ] -> Asm.Align (num n)
+  (* instructions *)
+  | "nop", [] -> Asm.I Nop
+  | "ret", [] -> Asm.I Ret
+  | "int3", [] -> Asm.I Int3
+  | "hlt", [] -> Asm.I Hlt
+  | "syscall", [] -> Asm.I Syscall
+  | "sysenter", [] -> Asm.I Sysenter
+  | "ud2", [] -> Asm.I Ud2
+  | "cpuid", [] -> Asm.I Cpuid
+  | "mfence", [] -> Asm.I Mfence
+  | "wrpkru", [] -> Asm.I Wrpkru
+  | "rdpkru", [] -> Asm.I Rdpkru
+  | "vcall", [ n ] -> Asm.I (Vcall (num n))
+  | "push", [ r ] -> Asm.I (Push (reg_of_s r))
+  | "pop", [ r ] -> Asm.I (Pop (reg_of_s r))
+  | "mov_ri", [ r; v ] -> Asm.I (Mov_ri (reg_of_s r, num v))
+  | "mov_ri32", [ r; v ] -> Asm.I (Mov_ri32 (reg_of_s r, num v))
+  | "mov_rr", [ d; s ] -> Asm.I (Mov_rr (reg_of_s d, reg_of_s s))
+  | "add_rr", [ d; s ] -> Asm.I (Add_rr (reg_of_s d, reg_of_s s))
+  | "sub_rr", [ d; s ] -> Asm.I (Sub_rr (reg_of_s d, reg_of_s s))
+  | "xor_rr", [ d; s ] -> Asm.I (Xor_rr (reg_of_s d, reg_of_s s))
+  | "test_rr", [ a; b ] -> Asm.I (Test_rr (reg_of_s a, reg_of_s b))
+  | "cmp_rr", [ a; b ] -> Asm.I (Cmp_rr (reg_of_s a, reg_of_s b))
+  | "add_ri", [ r; v ] -> Asm.I (Add_ri (reg_of_s r, num v))
+  | "sub_ri", [ r; v ] -> Asm.I (Sub_ri (reg_of_s r, num v))
+  | "cmp_ri", [ r; v ] -> Asm.I (Cmp_ri (reg_of_s r, num v))
+  | "load", [ d; b; o ] -> Asm.I (Load (reg_of_s d, reg_of_s b, num o))
+  | "store", [ b; o; s ] -> Asm.I (Store (reg_of_s b, num o, reg_of_s s))
+  | "load8", [ d; b; o ] -> Asm.I (Load8 (reg_of_s d, reg_of_s b, num o))
+  | "store8", [ b; o; s ] -> Asm.I (Store8 (reg_of_s b, num o, reg_of_s s))
+  | "lea", [ d; b; o ] -> Asm.I (Lea (reg_of_s d, reg_of_s b, num o))
+  | "jmp_rel", [ d ] -> Asm.I (Jmp_rel (num d))
+  | "call_rel", [ d ] -> Asm.I (Call_rel (num d))
+  | "jcc", [ c; d ] -> Asm.I (Jcc (cond_of_s c, num d))
+  | "jmp_reg", [ r ] -> Asm.I (Jmp_reg (reg_of_s r))
+  | "call_reg", [ r ] -> Asm.I (Call_reg (reg_of_s r))
+  | _ -> raise (Parse_error ("bad item line: " ^ line))
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+
+let to_string (e : entry) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "# k23_fuzz minimized reproducer\n";
+  Buffer.add_string buf (Printf.sprintf "mech: %s\n" (Mech.to_string e.e_mech));
+  Buffer.add_string buf (Printf.sprintf "seed: %d\n" e.e_seed);
+  Buffer.add_string buf (Printf.sprintf "expect: %s\n" e.e_expect);
+  Buffer.add_string buf "---\n";
+  List.iter
+    (fun it ->
+      Buffer.add_string buf (item_to_line it);
+      Buffer.add_char buf '\n')
+    e.e_items;
+  Buffer.contents buf
+
+let of_string s : entry =
+  let lines = String.split_on_char '\n' s in
+  let mech = ref None and seed = ref 0 and expect = ref "" in
+  let rec header = function
+    | [] -> raise (Parse_error "missing --- separator")
+    | l :: rest -> (
+      let l = String.trim l in
+      if l = "---" then rest
+      else if l = "" || l.[0] = '#' then header rest
+      else
+        match String.index_opt l ':' with
+        | None -> raise (Parse_error ("bad header line: " ^ l))
+        | Some i ->
+          let k = String.sub l 0 i
+          and v = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+          (match k with
+          | "mech" -> (
+            match mech_of_string v with
+            | Some m -> mech := Some m
+            | None -> raise (Parse_error ("unknown mech: " ^ v)))
+          | "seed" -> seed := num v
+          | "expect" -> expect := v
+          | _ -> () (* forward-compatible: ignore unknown keys *));
+          header rest)
+  in
+  let body = header lines in
+  let items =
+    List.filter_map
+      (fun l ->
+        let l = String.trim l in
+        if l = "" || l.[0] = '#' then None else Some (item_of_line l))
+      body
+  in
+  match !mech with
+  | None -> raise (Parse_error "missing mech: header")
+  | Some m -> { e_mech = m; e_seed = !seed; e_expect = !expect; e_items = items }
+
+let save ~path (e : entry) =
+  let oc = open_out path in
+  output_string oc (to_string e);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(** All [*.repro] files in [dir], sorted by name (deterministic
+    replay order); missing directory = empty corpus. *)
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort String.compare
+    |> List.map (fun f -> (f, load (Filename.concat dir f)))

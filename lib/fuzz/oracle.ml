@@ -1,0 +1,346 @@
+(** Differential conformance oracle.
+
+    A generated program is run in fresh, identically-seeded worlds —
+    natively and under each interposition mechanism — with the ktrace
+    ring enabled, and the runs are compared on their {e application-
+    observable} behaviour:
+
+    - the per-process sequence of {e executed} application syscalls
+      (number and normalised return value),
+    - every process's exit fate (exit status / fatal signal / still
+      running at the step cap),
+    - the root process's console bytes.
+
+    Raw event streams are {e not} comparable across mechanisms: an
+    interposer adds selector toggles, SIGSYS round trips, ptrace stops
+    and its own housekeeping syscalls, shifts every library's load
+    address (one more preload changes the ASLR draw sequence), and
+    skews fd and pid numbering (extra [openat]s, K23's offline
+    process).  The projection in this module is the per-mechanism
+    allowlist, made systematic:
+
+    - events are grouped per process; only syscalls that {e executed}
+      (entered and exited) survive;
+    - syscalls owned by the dynamic loader are dropped (mechanism
+      launch changes what ld.so loads), as are [rt_sigreturn] and
+      K23's fake syscall numbers;
+    - an interposer-owned execution is the SIGSYS gadget re-issuing a
+      blocked application attempt (SUD or seccomp-TRAP): it is matched
+      FIFO to the preceding blocked [Syscall_enter] of the same thread
+      and replayed as that application syscall, with the re-issue's
+      return value.  Unmatched interposer syscalls are the
+      interposer's own housekeeping and are dropped;
+    - return values are normalised: addresses ([mmap]/[brk]) to a
+      token, descriptors to a per-process first-use index, pids/tids
+      to a per-run first-appearance index.  Everything else (byte
+      counts, errnos) must match exactly.
+
+    [Trace_diff] still guards the stronger property that the same
+    mechanism with the same seed yields byte-identical streams; this
+    module owns the cross-mechanism question. *)
+
+open K23_kernel
+open K23_userland
+module Event = K23_obs.Event
+module Mech = K23_eval.Mech
+module K23 = K23_core.K23
+
+let target_path = "/bin/fuzz_target"
+
+(** The six mechanisms checked by default (plus native as reference). *)
+let default_mechs : Mech.t list =
+  [ Mech.Zpoline_ultra; Mech.Lazypoline; Mech.Sud; Mech.Ptrace; Mech.Seccomp; Mech.K23_ultra ]
+
+type fate = Exit of int | Killed of int | Running
+
+let fate_to_string = function
+  | Exit n -> Printf.sprintf "exit %d" n
+  | Killed s -> Printf.sprintf "killed %d" s
+  | Running -> "running"
+
+type projected = {
+  streams : (int * string list) list;
+      (** canonical pid -> rendered (nr, normalised ret) records *)
+  fates : (int * fate) list;  (** canonical pid -> fate *)
+  console : string;  (** root process console bytes *)
+}
+
+type outcome =
+  | Ok_run of projected
+  | Launch_failed of int
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+
+let default_world_seed = 97
+let default_max_steps = 3_000_000
+
+(** Run [items] (plus the execve helper) under [mech] in a fresh
+    world; returns the raw material for projection. *)
+let run_raw ?(world_seed = default_world_seed) ?(max_steps = default_max_steps) ~mech items =
+  let w = Sim.create_world ~seed:world_seed () in
+  ignore (Sim.register_app w ~path:target_path items);
+  ignore (Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items);
+  if Mech.needs_offline mech then begin
+    ignore (K23.offline_run w ~path:target_path ());
+    K23.seal_logs w
+  end;
+  let t = Kern.ktrace_enable w in
+  match Mech.launch mech w ~path:target_path () with
+  | Error e -> Error e
+  | Ok (p, _stats) ->
+    (try World.run_until_exit ~max_steps w p with Kern.Deadlock _ -> ());
+    Ok (w, p, K23_obs.Trace.events t)
+
+(* ------------------------------------------------------------------ *)
+(* Projection                                                          *)
+
+(* owners whose syscalls are part of application behaviour *)
+let keep_owner = function
+  | "app" | "libc" | "trampoline" | "anon" | "stack" -> true
+  | "interposer" | "ld.so" | "vdso" -> false
+  | _ -> true (* named shared libraries *)
+
+let addr_nrs = [ Sysno.mmap; Sysno.brk ]
+let fd_nrs = [ Sysno.open_; Sysno.openat; Sysno.dup; Sysno.socket; Sysno.accept ]
+let pid_nrs = [ Sysno.fork; Sysno.clone; Sysno.getpid; Sysno.gettid; Sysno.wait4 ]
+
+type pend = { pd_nr : int; pd_owner : string; mutable pd_blocked : bool }
+
+(** Project a raw run into comparable per-process syscall records. *)
+let project (p : Kern.proc) (w : Kern.world) events =
+  (* canonical pid numbering: root first, then first appearance *)
+  let pid_map = Hashtbl.create 8 in
+  Hashtbl.replace pid_map p.Kern.pid 0;
+  let next_pid = ref 1 in
+  let canon_pid pid =
+    match Hashtbl.find_opt pid_map pid with
+    | Some c -> c
+    | None ->
+      let c = !next_pid in
+      incr next_pid;
+      Hashtbl.replace pid_map pid c;
+      c
+  in
+  (* tids normalised the same way (the offline phase consumes tids) *)
+  let tid_map = Hashtbl.create 8 in
+  let next_tid = ref 0 in
+  let canon_tid tid =
+    match Hashtbl.find_opt tid_map tid with
+    | Some c -> c
+    | None ->
+      let c = !next_tid in
+      incr next_tid;
+      Hashtbl.replace tid_map tid c;
+      c
+  in
+  (* per-pid fd numbering by first use as a return value *)
+  let fd_maps : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let canon_fd pid fd =
+    let m =
+      match Hashtbl.find_opt fd_maps pid with
+      | Some m -> m
+      | None ->
+        let m = Hashtbl.create 8 in
+        Hashtbl.replace fd_maps pid m;
+        m
+    in
+    match Hashtbl.find_opt m fd with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length m in
+      Hashtbl.replace m fd c;
+      c
+  in
+  let norm_ret pid nr ret =
+    if ret < 0 then string_of_int ret
+    else if List.mem nr addr_nrs then (if ret >= 4096 then "addr" else string_of_int ret)
+    else if List.mem nr fd_nrs then Printf.sprintf "fd%d" (canon_fd pid ret)
+    else if List.mem nr pid_nrs then
+      if ret = 0 then "0" else Printf.sprintf "pid%d" (canon_pid ret)
+    else string_of_int ret
+  in
+  let streams : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let emit pid nr ret =
+    if nr <> Sysno.rt_sigreturn && nr < 1023 then begin
+      let cpid = canon_pid pid in
+      let q =
+        match Hashtbl.find_opt streams cpid with
+        | Some q -> q
+        | None ->
+          let q = ref [] in
+          Hashtbl.replace streams cpid q;
+          q
+      in
+      q := Printf.sprintf "%s->%s" (Sysno.name nr) (norm_ret pid nr ret) :: !q
+    end
+  in
+  (* per-(pid,tid) in-flight slot + FIFO of blocked app attempts *)
+  let slots : (int * int, pend) Hashtbl.t = Hashtbl.create 8 in
+  let blocked : (int * int, pend Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let blocked_q key =
+    match Hashtbl.find_opt blocked key with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace blocked key q;
+      q
+  in
+  let retire key =
+    (* an enter that never exited: keep it if it was diverted (the
+       re-issue will claim it), drop it otherwise (seccomp ERRNO-style
+       short circuits) *)
+    match Hashtbl.find_opt slots key with
+    | None -> ()
+    | Some pd ->
+      Hashtbl.remove slots key;
+      if pd.pd_blocked then Queue.add pd (blocked_q key)
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      let key = (e.ev_pid, e.ev_tid) in
+      (* fix the canonical ids in stream order; ev_pid = 0 marks
+         events with no process context (rewrites, world bookkeeping)
+         and must not consume a slot *)
+      if e.ev_pid <> 0 then begin
+        ignore (canon_pid e.ev_pid);
+        ignore (canon_tid e.ev_tid)
+      end;
+      match e.ev_payload with
+      | Event.Syscall_enter { nr; owner; _ } ->
+        retire key;
+        Hashtbl.replace slots key { pd_nr = nr; pd_owner = owner; pd_blocked = false }
+      | Event.Sud_block { nr; _ } -> (
+        match Hashtbl.find_opt slots key with
+        | Some pd when pd.pd_nr = nr -> pd.pd_blocked <- true
+        | _ -> ())
+      | Event.Seccomp { nr; verdict = "trap" } -> (
+        match Hashtbl.find_opt slots key with
+        | Some pd when pd.pd_nr = nr -> pd.pd_blocked <- true
+        | _ -> ())
+      | Event.Syscall_exit { nr; ret } -> (
+        match Hashtbl.find_opt slots key with
+        | Some pd when pd.pd_nr = nr ->
+          Hashtbl.remove slots key;
+          if keep_owner pd.pd_owner then emit e.ev_pid nr ret
+          else if pd.pd_owner = "interposer" then begin
+            (* gadget re-issue: replay the blocked application attempt *)
+            let q = blocked_q key in
+            match Queue.peek_opt q with
+            | Some bp when bp.pd_nr = nr ->
+              ignore (Queue.pop q);
+              if keep_owner bp.pd_owner then emit e.ev_pid nr ret
+            | _ -> () (* interposer housekeeping *)
+          end
+        | _ -> ())
+      | _ -> ())
+    events;
+  (* fates, in canonical order, for every traced process *)
+  let fates =
+    Hashtbl.fold (fun pid cpid acc -> (pid, cpid) :: acc) pid_map []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+    |> List.filter_map (fun (pid, cpid) ->
+           match List.find_opt (fun (q : Kern.proc) -> q.pid = pid) w.Kern.procs with
+           | None -> None
+           | Some q ->
+             let f =
+               match (q.exit_status, q.term_signal) with
+               | Some s, _ -> Exit s
+               | None, Some s -> Killed s
+               | None, None -> Running
+             in
+             Some (cpid, f))
+  in
+  let streams =
+    Hashtbl.fold (fun cpid q acc -> (cpid, List.rev !q) :: acc) streams []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { streams; fates; console = World.stdout_of p }
+
+let run ?world_seed ?max_steps ~mech items =
+  match run_raw ?world_seed ?max_steps ~mech items with
+  | Error e -> Launch_failed e
+  | Ok (w, p, events) -> Ok_run (project p w events)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+
+type divergence = {
+  d_mech : string;
+  d_where : string;  (** what differed, e.g. "pid 0 syscall 3" *)
+  d_native : string;
+  d_mech_val : string;
+}
+
+let render_divergence d =
+  Printf.sprintf "[%s] %s: native=%s mech=%s" d.d_mech d.d_where d.d_native d.d_mech_val
+
+let escape = String.map (fun c -> if c = '\n' then ';' else c)
+
+(** First application-observable difference between a native and a
+    mechanism projection, if any. *)
+let compare_projected ~mech (native : projected) (m : projected) : divergence option =
+  let mk where n v = Some { d_mech = Mech.to_string mech; d_where = where; d_native = n; d_mech_val = v } in
+  let rec cmp_stream cpid i (a : string list) (b : string list) =
+    match (a, b) with
+    | [], [] -> None
+    | x :: _, [] -> mk (Printf.sprintf "pid %d record %d" cpid i) x "<missing>"
+    | [], y :: _ -> mk (Printf.sprintf "pid %d record %d" cpid i) "<missing>" y
+    | x :: xs, y :: ys ->
+      if x = y then cmp_stream cpid (i + 1) xs ys
+      else mk (Printf.sprintf "pid %d record %d" cpid i) x y
+  in
+  let rec cmp_streams = function
+    | [], [] -> None
+    | (cpid, s) :: _, [] -> mk (Printf.sprintf "pid %d" cpid) (Printf.sprintf "%d records" (List.length s)) "<no process>"
+    | [], (cpid, s) :: _ -> mk (Printf.sprintf "pid %d" cpid) "<no process>" (Printf.sprintf "%d records" (List.length s))
+    | (ca, sa) :: ra, (cb, sb) :: rb ->
+      if ca <> cb then mk "pid order" (string_of_int ca) (string_of_int cb)
+      else (
+        match cmp_stream ca 0 sa sb with Some d -> Some d | None -> cmp_streams (ra, rb))
+  in
+  match cmp_streams (native.streams, m.streams) with
+  | Some d -> Some d
+  | None -> (
+    let rec cmp_fates = function
+      | [], [] -> None
+      | (cpid, f) :: _, [] -> mk (Printf.sprintf "pid %d fate" cpid) (fate_to_string f) "<no process>"
+      | [], (cpid, f) :: _ -> mk (Printf.sprintf "pid %d fate" cpid) "<no process>" (fate_to_string f)
+      | (ca, fa) :: ra, (cb, fb) :: rb ->
+        if ca <> cb || fa <> fb then
+          mk
+            (Printf.sprintf "pid %d fate" ca)
+            (fate_to_string fa)
+            (Printf.sprintf "pid %d %s" cb (fate_to_string fb))
+        else cmp_fates (ra, rb)
+    in
+    match cmp_fates (native.fates, m.fates) with
+    | Some d -> Some d
+    | None ->
+      if native.console <> m.console then
+        mk "console" (escape native.console) (escape m.console)
+      else None)
+
+(** Run [items] natively and under [mech]; [Some divergence] if the
+    application-observable behaviour differs. *)
+let diverges ?world_seed ?max_steps ~mech items =
+  match run ?world_seed ?max_steps ~mech:Mech.Native items with
+  | Launch_failed e ->
+    Some
+      {
+        d_mech = Mech.to_string mech;
+        d_where = "native launch";
+        d_native = Printf.sprintf "error %d" e;
+        d_mech_val = "";
+      }
+  | Ok_run native -> (
+    match run ?world_seed ?max_steps ~mech items with
+    | Launch_failed e ->
+      Some
+        {
+          d_mech = Mech.to_string mech;
+          d_where = "launch";
+          d_native = "ok";
+          d_mech_val = Printf.sprintf "error %d" e;
+        }
+    | Ok_run m -> compare_projected ~mech native m)

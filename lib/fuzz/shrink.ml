@@ -1,0 +1,77 @@
+(** Delta-debugging minimiser for divergence repros.
+
+    Given an item list on which [Oracle.diverges ~mech] reports a
+    divergence, shrink it to a locally minimal list that still
+    diverges: classic ddmin over chunks (try dropping ever-smaller
+    slices of the program), finished by a one-minimal pass that tries
+    deleting each remaining item alone.
+
+    Dropping items can orphan a label a branch still targets, or drop
+    "main" itself — the assembler raises on both, and a candidate that
+    no longer assembles (or no longer launches) simply doesn't
+    reproduce, so ddmin discards it without special-casing.  The
+    oracle is fully deterministic, which delta debugging quietly
+    assumes; here it actually holds. *)
+
+type result = {
+  items : K23_isa.Asm.item list;  (** the minimal reproducer *)
+  divergence : Oracle.divergence;  (** what it still reproduces *)
+  tests : int;  (** oracle runs spent shrinking *)
+}
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop n l = List.filteri (fun i _ -> i >= n) l
+
+(** Remove the slice [lo, lo+len) of [l]. *)
+let without l lo len = take lo l @ drop (lo + len) l
+
+let minimize ?world_seed ?max_steps ~mech items =
+  let tests = ref 0 in
+  let check its =
+    incr tests;
+    match Oracle.diverges ?world_seed ?max_steps ~mech its with
+    | exception _ -> None (* no longer assembles / launches: not a repro *)
+    | d -> d
+  in
+  match check items with
+  | None -> None
+  | Some d0 ->
+    let best = ref items and best_d = ref d0 in
+    (* ddmin: try removing chunks of shrinking size *)
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let n = List.length !best in
+      let chunk = ref (max 1 (n / 2)) in
+      while !chunk >= 1 do
+        let lo = ref 0 in
+        while !lo < List.length !best do
+          let cand = without !best !lo !chunk in
+          (match check cand with
+          | Some d when cand <> !best ->
+            best := cand;
+            best_d := d;
+            continue_ := true
+            (* retry the same offset: the next chunk slid into place *)
+          | _ -> lo := !lo + !chunk)
+        done;
+        chunk := !chunk / 2
+      done
+    done;
+    (* one-minimal pass: no single remaining item can be deleted *)
+    let one = ref true in
+    while !one do
+      one := false;
+      let n = List.length !best in
+      let i = ref 0 in
+      while !i < n && not !one do
+        let cand = without !best !i 1 in
+        (match check cand with
+        | Some d ->
+          best := cand;
+          best_d := d;
+          one := true
+        | None -> incr i)
+      done
+    done;
+    Some { items = !best; divergence = !best_d; tests = !tests }

@@ -511,17 +511,24 @@ let cleanup_fds (p : proc) =
         && Hashtbl.fold (fun _ fd acc -> acc || probe fd) q.fds false)
       p.w.procs
   in
-  Hashtbl.iter
-    (fun _ fd ->
-      match fd with
-      | Fd_conn (c, ep) ->
-        if not (held_elsewhere (function Fd_conn (c', ep') -> c' == c && ep' = ep | _ -> false))
-        then Net.close c ep
-      | Fd_listener l ->
-        if not (held_elsewhere (function Fd_listener l' -> l' == l | _ -> false)) then
-          Net.unlisten p.w.net l.port
-      | Fd_file _ | Fd_console _ | Fd_pipe_r _ | Fd_pipe_w _ | Fd_devnull -> ())
-    p.fds
+  (* ascending fd order, matching the kernel's exit_files() table walk:
+     release order (and hence FIN/unlisten and ktrace event order) must
+     not depend on hash-table layout *)
+  Hashtbl.fold (fun n fd acc -> (n, fd) :: acc) p.fds []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (_, fd) ->
+         match fd with
+         | Fd_conn (c, ep) ->
+           if
+             not
+               (held_elsewhere (function
+                 | Fd_conn (c', ep') -> c' == c && ep' = ep
+                 | _ -> false))
+           then Net.close c ep
+         | Fd_listener l ->
+           if not (held_elsewhere (function Fd_listener l' -> l' == l | _ -> false)) then
+             Net.unlisten p.w.net l.port
+         | Fd_file _ | Fd_console _ | Fd_pipe_r _ | Fd_pipe_w _ | Fd_devnull -> ())
 
 let kill_proc (p : proc) ~signal =
   if p.exit_status = None && p.term_signal = None then begin

@@ -79,7 +79,20 @@ type conn = {
 
 type endpoint = A | B
 
-type listener = { port : int; mutable backlog : conn list }
+(** Pending connections, same two-list queue shape as {!Byteq}:
+    [connect] conses onto [bl_back], [accept] pops [bl_front] and
+    reverses [bl_back] in only when the front drains — amortised O(1)
+    per connection while keeping strict FIFO accept order.  The
+    previous representation appended with [l.backlog <- l.backlog @ [c]],
+    quadratic in a connect burst (every client of a benchmark run
+    lands on the same listener). *)
+type listener = {
+  port : int;
+  mutable bl_front : conn list;  (** oldest first *)
+  mutable bl_back : conn list;  (** newest first *)
+}
+
+let backlog_length l = List.length l.bl_front + List.length l.bl_back
 
 type t = { listeners : (int, listener) Hashtbl.t; mutable next_conn : int }
 
@@ -88,7 +101,7 @@ let create () = { listeners = Hashtbl.create 8; next_conn = 1 }
 let listen t port =
   if Hashtbl.mem t.listeners port then Error `Addrinuse
   else begin
-    let l = { port; backlog = [] } in
+    let l = { port; bl_front = []; bl_back = [] } in
     Hashtbl.replace t.listeners port l;
     Ok l
   end
@@ -109,15 +122,20 @@ let connect t port =
       }
     in
     t.next_conn <- t.next_conn + 1;
-    l.backlog <- l.backlog @ [ c ];
+    l.bl_back <- c :: l.bl_back;
     Ok c
 
 (** Server side: take the next pending connection, if any. *)
 let accept l =
-  match l.backlog with
+  (match l.bl_front with
+  | [] ->
+    l.bl_front <- List.rev l.bl_back;
+    l.bl_back <- []
+  | _ -> ());
+  match l.bl_front with
   | [] -> None
   | c :: rest ->
-    l.backlog <- rest;
+    l.bl_front <- rest;
     Some c
 
 let send_q c = function A -> c.a_to_b | B -> c.b_to_a

@@ -25,7 +25,17 @@ type conn = {
 type endpoint = A | B
 (** [A] is the connecting (client) side, [B] the accepting side. *)
 
-type listener = { port : int; mutable backlog : conn list }
+type listener = private {
+  port : int;
+  mutable bl_front : conn list;  (** oldest first *)
+  mutable bl_back : conn list;  (** newest first *)
+}
+(** Pending connections as a two-list FIFO (the {!Byteq} shape):
+    amortised O(1) per connect/accept instead of the old O(n²)
+    list-append backlog.  [private] so only [connect]/[accept] shift
+    the lists; read the depth via {!backlog_length}. *)
+
+val backlog_length : listener -> int
 
 type t = { listeners : (int, listener) Hashtbl.t; mutable next_conn : int }
 

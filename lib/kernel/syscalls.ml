@@ -505,7 +505,10 @@ let dispatch (ctx : ctx) ~nr ~args : int =
       | None ->
         raise
           (Would_block
-             { why = Printf.sprintf "accept(:%d)" l.port; ready = (fun () -> l.backlog <> []) }))
+             {
+               why = Printf.sprintf "accept(:%d)" l.port;
+               ready = (fun () -> Net.backlog_length l > 0);
+             }))
     | _ -> Errno.ret Errno.ebadf)
   | n when n = Sysno.connect -> (
     charge w th 400;

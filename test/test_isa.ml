@@ -164,6 +164,46 @@ let prop_sweep_clean =
       List.length items = List.length insns
       && List.for_all2 (fun it i -> it.Disasm.insn = Some i) items insns)
 
+(* encode→decode round-trip over the *fuzzer generator's* instruction
+   distribution (hazard immediates, boundary displacements, full-width
+   Mov_ri), each insn additionally decoded from a placement that
+   straddles a 4096-byte page boundary — the straddle shape's decode
+   path, minus the MMU *)
+let prop_fuzz_gen_roundtrip =
+  let open QCheck in
+  let page = 4096 in
+  let gen_case =
+    Gen.map2
+      (fun seed overhang -> (seed, overhang))
+      (Gen.int_range 0 1_000_000) (Gen.int_range 1 9)
+  in
+  let print_case (seed, overhang) =
+    let insn = K23_fuzz.Gen.random_insn (K23_util.Rng.create ~seed) in
+    Printf.sprintf "seed=%d overhang=%d insn=%s" seed overhang (Insn.to_string insn)
+  in
+  Test.make ~name:"fuzz-gen distribution roundtrips (incl. page straddle)" ~count:2000
+    (make ~print:print_case gen_case)
+    (fun (seed, overhang) ->
+      let insn = K23_fuzz.Gen.random_insn (K23_util.Rng.create ~seed) in
+      let b = Encode.to_bytes insn in
+      let flat =
+        match Decode.decode_bytes b 0 with
+        | Ok (i, len) -> i = insn && len = Bytes.length b
+        | Error `Invalid -> false
+      in
+      (* place the insn so its first byte sits [overhang'] bytes before
+         a page boundary: bytes split across the 4096 line *)
+      let overhang' = min overhang (Bytes.length b) in
+      let pos = page - overhang' in
+      let buf = Bytes.make (page + Bytes.length b) '\x90' in
+      Bytes.blit b 0 buf pos (Bytes.length b);
+      let straddled =
+        match Decode.decode_bytes buf pos with
+        | Ok (i, len) -> i = insn && len = Bytes.length b
+        | Error `Invalid -> false
+      in
+      flat && straddled)
+
 let tests =
   ( "isa",
     List.map
@@ -178,4 +218,5 @@ let tests =
         Alcotest.test_case "desync decode" `Quick test_desync;
         QCheck_alcotest.to_alcotest prop_roundtrip;
         QCheck_alcotest.to_alcotest prop_sweep_clean;
+        QCheck_alcotest.to_alcotest prop_fuzz_gen_roundtrip;
       ] )

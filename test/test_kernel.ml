@@ -92,6 +92,32 @@ let test_listener_backlog () =
     | None -> Alcotest.fail "accept");
     Alcotest.(check bool) "backlog drained" true (Net.accept l = None)
 
+(* the two-list backlog against a Queue.t model: random interleavings
+   of connect/accept must agree on order, depth, and contents *)
+let prop_backlog_fifo =
+  QCheck.Test.make ~name:"listener backlog is FIFO (Queue model)" ~count:300
+    QCheck.(list bool)
+    (fun ops ->
+      let n = Net.create () in
+      (match Net.listen n 7 with Ok _ -> () | Error _ -> assert false);
+      let l = Hashtbl.find n.listeners 7 in
+      let model : int Queue.t = Queue.create () in
+      List.for_all
+        (fun is_connect ->
+          if is_connect then (
+            match Net.connect n 7 with
+            | Ok c ->
+              Queue.add c.Net.conn_id model;
+              Net.backlog_length l = Queue.length model
+            | Error `Refused -> false)
+          else
+            match (Net.accept l, Queue.take_opt model) with
+            | None, None -> true
+            | Some c, Some id ->
+              c.Net.conn_id = id && Net.backlog_length l = Queue.length model
+            | _ -> false)
+        ops)
+
 (* ---------------- syscalls via boot ---------------- *)
 
 let run_app items =
@@ -218,6 +244,7 @@ let tests =
       Alcotest.test_case "byteq partial pop" `Quick test_byteq_partial_pop;
       QCheck_alcotest.to_alcotest prop_byteq;
       Alcotest.test_case "listener backlog" `Quick test_listener_backlog;
+      QCheck_alcotest.to_alcotest prop_backlog_fifo;
       Alcotest.test_case "pipe syscalls" `Quick test_pipe_syscall;
       Alcotest.test_case "heap allocation" `Quick test_brk_and_heap;
       Alcotest.test_case "/proc/self/maps" `Quick test_proc_maps_readable;
