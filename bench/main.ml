@@ -7,8 +7,12 @@
      dune exec bench/main.exe -- --quick table5 table6   # fewer runs
 
    Experiments: table2 table3 fig3 table5 table6 startup memory
-   ablation simperf ktrace.  EXPERIMENTS.md records the
-   paper-vs-measured comparison in full. *)
+   ablation simperf ktrace fuzz.  EXPERIMENTS.md records the
+   paper-vs-measured comparison in full.
+
+   --jobs N shards the embarrassingly-parallel sweeps (table5, table6,
+   fuzz) across N domains via K23_par; every table is byte-identical
+   whatever N is. *)
 
 open K23_eval
 
@@ -48,17 +52,17 @@ let fig3 () =
   section "Figure 3 - offline log generated for ls (region,offset pairs)";
   print_string (Offline_counts.fig3 ())
 
-let table5 ~runs () =
+let table5 ~runs ~jobs () =
   section "Table 5 - microbenchmark overhead vs native";
-  print_string (Micro.render (Micro.table5 ~runs ()));
+  print_string (Micro.render (Micro.table5 ~runs ~jobs ()));
   print_string
     "\npaper:  zpoline-default 1.1267x | zpoline-ultra 1.1576x | lazypoline 1.3801x\n\
      \        K23-default 1.2788x | K23-ultra 1.3919x | K23-ultra+ 1.3948x\n\
      \        SUD-no-interposition 1.2269x | SUD 15.3022x\n"
 
-let table6 ~runs () =
+let table6 ~runs ~jobs () =
   section "Table 6 - macrobenchmarks (throughput relative to native, %)";
-  print_string (Macro.render (Macro.table6 ~runs ()));
+  print_string (Macro.render (Macro.table6 ~runs ~jobs ()));
   print_string
     "\npaper geomeans: zpoline-default 98.93 | zpoline-ultra 98.27 | lazypoline 98.26\n\
      \                K23-default 98.62 | K23-ultra 97.96 | K23-ultra+ 97.90 | SUD 56.70\n"
@@ -111,20 +115,38 @@ let seccomp () =
   print_string (Contrast.render_seccomp (Contrast.seccomp_micro ()))
 
 (* Fuzzer throughput + coverage: how many differential executions per
-   second the oracle sustains, and what the generator's opcode and
-   syscall distributions look like.  Timing stays in this harness —
-   the campaign report itself is deterministic. *)
-let fuzz ~quick () =
+   second the oracle sustains (sequential and sharded across [jobs]
+   domains), and what the generator's opcode and syscall distributions
+   look like.  Timing stays in this harness — the campaign report
+   itself is deterministic, and the harness asserts the sequential and
+   parallel reports render identical JSON.  Wall-clock time
+   (Unix.gettimeofday) rather than CPU time: Sys.time sums across
+   domains and would hide any parallel speedup.  [--json <path>]
+   writes the measurements (BENCH_parfuzz.json / EXPERIMENTS.md). *)
+let fuzz ~quick ~jobs ?json () =
   let module F = K23_fuzz in
   section "fuzz - differential conformance fuzzer (throughput & coverage)";
   let iters = if quick then 50 else 300 in
+  let jobs = match jobs with Some j -> j | None -> max 2 (K23_par.Pool.default_jobs ()) in
   let config = { F.Campaign.default_config with c_iters = iters } in
-  let t0 = Sys.time () in
-  let r = F.Campaign.run config in
-  let dt = Sys.time () -. t0 in
+  let timed j =
+    let t0 = Unix.gettimeofday () in
+    let r = F.Campaign.run ~jobs:j config in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r, dt1 = timed 1 in
+  let rp, dtn = timed jobs in
+  if F.Campaign.render_json rp <> F.Campaign.render_json r then
+    failwith "fuzz: parallel report differs from sequential report";
   print_string (F.Campaign.render_text r);
-  Printf.printf "throughput: %d oracle runs in %.2fs (%.0f execs/sec)\n" r.F.Campaign.r_runs dt
-    (float_of_int r.F.Campaign.r_runs /. dt);
+  let throughput dt =
+    Printf.sprintf "%d oracle runs in %.2fs (%.0f execs/sec)" r.F.Campaign.r_runs dt
+      (float_of_int r.F.Campaign.r_runs /. dt)
+  in
+  Printf.printf "throughput (jobs=1): %s\n" (throughput dt1);
+  Printf.printf "throughput (jobs=%d): %s\n" jobs (throughput dtn);
+  Printf.printf "speedup: %.2fx on %d core(s); reports byte-identical\n" (dt1 /. dtn)
+    (Domain.recommended_domain_count ());
   Printf.printf "\nopcode coverage (%d static insns):\n" r.F.Campaign.r_insns;
   List.iter
     (fun (k, v) -> Printf.printf "  %-10s %6d\n" k v)
@@ -132,7 +154,33 @@ let fuzz ~quick () =
   Printf.printf "\nsyscall coverage:\n";
   List.iter
     (fun (nr, v) -> Printf.printf "  %-14s %6d\n" (K23_kernel.Sysno.name nr) v)
-    r.F.Campaign.r_sys_hist
+    r.F.Campaign.r_sys_hist;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"experiment\": \"parfuzz\",\n\
+      \  \"iters\": %d,\n\
+      \  \"oracle_runs\": %d,\n\
+      \  \"cores\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"wall_s_jobs1\": %.3f,\n\
+      \  \"wall_s_jobsN\": %.3f,\n\
+      \  \"execs_per_sec_jobs1\": %.1f,\n\
+      \  \"execs_per_sec_jobsN\": %.1f,\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"reports_identical\": true\n\
+       }\n"
+      iters r.F.Campaign.r_runs
+      (Domain.recommended_domain_count ())
+      jobs dt1 dtn
+      (float_of_int r.F.Campaign.r_runs /. dt1)
+      (float_of_int r.F.Campaign.r_runs /. dtn)
+      (dt1 /. dtn);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -144,6 +192,22 @@ let () =
         prerr_endline "--json requires a path (e.g. --json BENCH_simperf.json)";
         exit 2
       | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  let jobs, args =
+    let rec go acc = function
+      | [ "--jobs" ] ->
+        prerr_endline "--jobs requires a count (e.g. --jobs 4)";
+        exit 2
+      | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | _ ->
+          Printf.eprintf "--jobs: not a positive integer: %S\n" n;
+          exit 2)
       | x :: rest -> go (x :: acc) rest
       | [] -> (None, List.rev acc)
     in
@@ -164,8 +228,8 @@ let () =
       | "table3" -> table3 ()
       | "fig1" -> fig1 ()
       | "fig3" -> fig3 ()
-      | "table5" -> table5 ~runs:(if quick then 3 else 10) ()
-      | "table6" -> table6 ~runs:(if quick then 3 else 5) ()
+      | "table5" -> table5 ~runs:(if quick then 3 else 10) ~jobs:(Option.value jobs ~default:1) ()
+      | "table6" -> table6 ~runs:(if quick then 3 else 5) ~jobs:(Option.value jobs ~default:1) ()
       | "startup" -> startup ()
       | "memory" -> memory ()
       | "ablation" -> ablation ()
@@ -173,6 +237,6 @@ let () =
       | "arm" -> arm ()
       | "simperf" -> simperf ~quick ?json ()
       | "ktrace" -> ktrace ~quick ()
-      | "fuzz" -> fuzz ~quick ()
+      | "fuzz" -> fuzz ~quick ~jobs ?json ()
       | other -> Printf.eprintf "unknown experiment %S\n" other)
     experiments

@@ -5,6 +5,8 @@
      k23 trace <app>                  strace-style listing via K23
      k23 offline <app>                run the offline phase, print the log
      k23 pitfalls                     run the PoCs, print Table 3
+     k23 fuzz [--jobs N]              differential conformance fuzzing
+     k23 bench table5|table6|fuzz     evaluation sweeps, --jobs to shard
      k23 apps                         list bundled applications
 
    Bundled apps are the simulated coreutils (pwd, touch, ls, cat,
@@ -26,20 +28,16 @@ let resolve_app name =
   if List.exists (fun (n, _, _) -> n = name) Apps.Coreutils.all then Apps.Coreutils.path name
   else name
 
+(* names come from the single Mech registry — no table to keep in sync *)
 let mech_conv =
   let parse s =
-    match String.lowercase_ascii s with
-    | "native" -> Ok K23_eval.Mech.Native
-    | "zpoline" -> Ok K23_eval.Mech.Zpoline_default
-    | "zpoline-ultra" -> Ok K23_eval.Mech.Zpoline_ultra
-    | "lazypoline" -> Ok K23_eval.Mech.Lazypoline
-    | "k23" -> Ok K23_eval.Mech.K23_default
-    | "k23-ultra" -> Ok K23_eval.Mech.K23_ultra
-    | "k23-ultra+" -> Ok K23_eval.Mech.K23_ultra_plus
-    | "sud" -> Ok K23_eval.Mech.Sud
-    | "ptrace" -> Ok K23_eval.Mech.Ptrace
-    | "seccomp" -> Ok K23_eval.Mech.Seccomp
-    | other -> Error (`Msg (Printf.sprintf "unknown mechanism %S" other))
+    match K23_eval.Mech.of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown mechanism %S (known: %s)" s
+             (String.concat ", " (List.map K23_eval.Mech.to_string K23_eval.Mech.all))))
   in
   Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (K23_eval.Mech.to_string m))
 
@@ -234,7 +232,15 @@ let fuzz_cmd =
           ~doc:"With $(b,--minimize): write each minimized repro to DIR as a corpus file.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the campaign report as JSON.") in
-  let run seed iters mech shapes minimize save json =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard iterations across N domains.  The report (text or JSON) is byte-identical \
+             for every N.")
+  in
+  let run seed iters mech shapes minimize save json jobs =
     let shapes =
       match shapes with
       | None -> F.Gen.default_shapes
@@ -258,7 +264,7 @@ let fuzz_cmd =
         c_minimize = minimize;
       }
     in
-    let report = F.Campaign.run config in
+    let report = F.Campaign.run ~jobs config in
     if json then print_string (F.Campaign.render_json report)
     else print_string (F.Campaign.render_text report);
     (match save with
@@ -287,7 +293,56 @@ let fuzz_cmd =
          "Differential conformance fuzzing: run seeded adversarial programs natively and under \
           interposition mechanisms; any observable difference is a mechanism bug.  Exit status 1 \
           if divergences were found.")
-    Term.(const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json)
+    Term.(const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json $ jobs)
+
+let bench_cmd =
+  let module F = K23_fuzz in
+  let exps =
+    Arg.(
+      non_empty
+      & pos_all (enum [ ("table5", `Table5); ("table6", `Table6); ("fuzz", `Fuzz) ]) []
+      & info [] ~docv:"EXPERIMENT" ~doc:"$(b,table5), $(b,table6) or $(b,fuzz).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Shard the sweep across N domains; tables and reports are identical for every N.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer repetitions per cell / fewer iterations.")
+  in
+  let run exps jobs quick =
+    List.iter
+      (fun exp ->
+        match exp with
+        | `Table5 ->
+          print_string
+            (K23_eval.Micro.render (K23_eval.Micro.table5 ~runs:(if quick then 3 else 10) ~jobs ()))
+        | `Table6 ->
+          print_string
+            (K23_eval.Macro.render (K23_eval.Macro.table6 ~runs:(if quick then 3 else 5) ~jobs ()))
+        | `Fuzz ->
+          let config =
+            { F.Campaign.default_config with c_iters = (if quick then 50 else 300) }
+          in
+          (* wall clock, not Sys.time: CPU time sums across domains *)
+          let t0 = Unix.gettimeofday () in
+          let r = F.Campaign.run ~jobs config in
+          let dt = Unix.gettimeofday () -. t0 in
+          print_string (F.Campaign.render_text r);
+          Printf.printf "throughput: %d oracle runs in %.2fs (%.0f execs/sec, jobs=%d)\n"
+            r.F.Campaign.r_runs dt
+            (float_of_int r.F.Campaign.r_runs /. dt)
+            jobs)
+      exps
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run an evaluation sweep — Table 5 microbenchmarks, Table 6 macrobenchmarks, or the \
+          fuzzer throughput experiment — optionally sharded across domains with $(b,--jobs).")
+    Term.(const run $ exps $ jobs $ quick)
 
 let apps_cmd =
   let run () = List.iter (fun (n, _, _) -> Printf.printf "%s\n" n) Apps.Coreutils.all in
@@ -299,4 +354,6 @@ let () =
       ~doc:"K23 system call interposition on a simulated x86-64/Linux substrate"
   in
   exit
-    (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; offline_cmd; pitfalls_cmd; fuzz_cmd; apps_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; trace_cmd; offline_cmd; pitfalls_cmd; fuzz_cmd; bench_cmd; apps_cmd ]))

@@ -194,34 +194,76 @@ type row = {
   cells : (Mech.t * cell) list;
 }
 
-(** Benchmark one spec across all Table 6 mechanisms.  Relative values
-    pair interposed and native runs seed-by-seed; for sqlite the ratio
-    is inverted (completion time, Section 6.2.2). *)
-let bench_spec ?(runs = 5) spec =
-  let seeds = List.init runs (fun i -> 2_000 + (i * 13)) in
-  let native = List.map (fun seed -> run_spec spec Mech.Native ~seed) seeds in
+let run_seeds runs = List.init runs (fun i -> 2_000 + (i * 13))
+
+(** Raw measurements for one Table 6 cell: the native column
+    ([mech = None]) or one mechanism's column of a spec.  A cell is a
+    pure function of (spec, mech, runs) — each run builds a fresh world
+    from its seed — so cells are the unit of work the domain pool
+    shards.  Relative values pair interposed and native runs
+    seed-by-seed (interposed runs use seed+1, as the paper pairs a
+    fresh machine state with each mechanism). *)
+let measure_cell ~runs spec mech =
+  match mech with
+  | None -> List.map (fun seed -> run_spec spec Mech.Native ~seed) (run_seeds runs)
+  | Some mech -> List.map (fun seed -> run_spec spec mech ~seed:(seed + 1)) (run_seeds runs)
+
+(** Fold raw cell measurements into a row.  Each interposed run is
+    compared against the native mean — per-run machine-state variation
+    shows up in the reported standard deviation, as in the paper's
+    methodology; for sqlite the ratio is inverted (completion time,
+    Section 6.2.2). *)
+let assemble_row spec native mech_raws =
   let native_mean = Stats.mean (Stats.drop_outliers native) in
   let cells =
-    List.map
-      (fun mech ->
-        (* each interposed run is compared against the native mean —
-           per-run machine-state variation shows up in the reported
-           standard deviation, as in the paper's methodology *)
+    List.map2
+      (fun mech raw ->
         let rels =
           List.map
-            (fun seed ->
-              let v = run_spec spec mech ~seed:(seed + 1) in
+            (fun v ->
               if is_throughput spec then 100.0 *. v /. native_mean
               else 100.0 *. native_mean /. v)
-            seeds
+            raw
         in
         let kept = Stats.drop_outliers rels in
         (mech, { rel_mean = Stats.mean kept; rel_std = Stats.stddev_pct kept }))
-      Mech.table6_cols
+      Mech.table6_cols mech_raws
   in
   { spec; native_mean; cells }
 
-let table6 ?runs ?(specs = all_specs) () = List.map (bench_spec ?runs) specs
+(** Benchmark one spec across all Table 6 mechanisms, sequentially. *)
+let bench_spec ?(runs = 5) spec =
+  assemble_row spec
+    (measure_cell ~runs spec None)
+    (List.map (fun m -> measure_cell ~runs spec (Some m)) Mech.table6_cols)
+
+(** Table 6, with one run-spec per (spec, column) cell — the native
+    column included.  Cells come back in submission order whatever
+    [jobs] is and the fold into rows is the same [assemble_row] the
+    sequential path uses, so the rendered table is identical. *)
+let table6 ?(runs = 5) ?(specs = all_specs) ?(jobs = 1) () =
+  let module Rs = K23_par.Run_spec in
+  let cols = None :: List.map Option.some Mech.table6_cols in
+  let cell_world = K23_kernel.World.Config.make ~quantum:8 ~seed:2_000 () in
+  let tasks = List.concat_map (fun spec -> List.map (fun m -> (spec, m)) cols) specs in
+  let rs =
+    List.mapi
+      (fun idx (spec, m) ->
+        Rs.v ~world:cell_world
+          ~mech:(match m with None -> "native" | Some m -> Mech.to_string m)
+          ~index:idx
+          (fun () -> measure_cell ~runs spec m))
+      tasks
+  in
+  let cells = List.map snd (Rs.run_all ~jobs rs) in
+  (* regroup row-major: spec i owns cells [i*ncols, (i+1)*ncols) *)
+  let ncols = List.length cols in
+  List.mapi
+    (fun i spec ->
+      match List.filteri (fun j _ -> j / ncols = i) cells with
+      | native :: mech_raws -> assemble_row spec native mech_raws
+      | [] -> assert false)
+    specs
 
 let render rows =
   let buf = Buffer.create 2048 in

@@ -22,6 +22,25 @@ type t =
   | Ptrace  (** host-agent tracer, entry/exit stops (Section 2.1) *)
   | Seccomp  (** SECCOMP_RET_TRAP outside the interposer's text *)
 
+(** Every mechanism, in declaration order — the single source of truth
+    for name tables, CLI converters and round-trip serialisation
+    (corpus files, campaign reports).  Extending [t] without extending
+    this list is caught by the exhaustive round-trip test. *)
+let all =
+  [
+    Native;
+    Zpoline_default;
+    Zpoline_ultra;
+    Lazypoline;
+    K23_default;
+    K23_ultra;
+    K23_ultra_plus;
+    Sud_no_interposition;
+    Sud;
+    Ptrace;
+    Seccomp;
+  ]
+
 let to_string = function
   | Native -> "native"
   | Zpoline_default -> "zpoline-default"
@@ -34,6 +53,18 @@ let to_string = function
   | Sud -> "SUD"
   | Ptrace -> "ptrace"
   | Seccomp -> "seccomp"
+
+(** Inverse of {!to_string}, case-insensitively, plus the short CLI
+    aliases ["zpoline"] and ["k23"] for the default variants. *)
+let of_string s =
+  let ls = String.lowercase_ascii s in
+  match List.find_opt (fun m -> String.lowercase_ascii (to_string m) = ls) all with
+  | Some m -> Some m
+  | None -> (
+    match ls with
+    | "zpoline" -> Some Zpoline_default
+    | "k23" -> Some K23_default
+    | _ -> None)
 
 (** Table 5 rows, in the paper's order. *)
 let table5_rows =

@@ -65,19 +65,47 @@ let cycles_per_iter ~mech ~seed =
 
 type row = { mech : Mech.t; overhead : float; stddev_pct : float }
 
-(** Overhead of one mechanism relative to native, following the
-    paper's methodology: [runs] repetitions, min/max discarded,
-    geometric mean, stddev as % of mean. *)
-let overhead_row ?(runs = 10) mech =
-  let samples =
-    List.init runs (fun i ->
-        let seed = 1000 + (i * 7) in
-        cycles_per_iter ~mech ~seed /. cycles_per_iter ~mech:Mech.Native ~seed)
-  in
+(* per-repetition seed, as in the paper's repeated-run methodology *)
+let run_seed i = 1000 + (i * 7)
+
+(** One repetition of one row: the (mech, run-index) sample.  Each
+    sample builds four fresh worlds (lo/hi iteration counts, mech and
+    native) and is a pure function of its seed — the unit of work the
+    domain pool shards. *)
+let sample ~mech i =
+  let seed = run_seed i in
+  cycles_per_iter ~mech ~seed /. cycles_per_iter ~mech:Mech.Native ~seed
+
+(** Assemble a row following the paper's methodology: min/max
+    discarded, geometric mean, stddev as % of mean. *)
+let row_of_samples mech samples =
   let kept = Stats.drop_outliers samples in
   { mech; overhead = Stats.geomean kept; stddev_pct = Stats.stddev_pct kept }
 
-let table5 ?runs () = List.map (overhead_row ?runs) Mech.table5_rows
+(** Overhead of one mechanism relative to native ([runs] repetitions),
+    measured sequentially. *)
+let overhead_row ?(runs = 10) mech = row_of_samples mech (List.init runs (sample ~mech))
+
+(** Table 5, with one run-spec per (row, repetition) pair.  Samples
+    come back in submission order whatever [jobs] is, so the rendered
+    table is byte-identical to the sequential sweep. *)
+let table5 ?(runs = 10) ?(jobs = 1) () =
+  let module Rs = K23_par.Run_spec in
+  let specs =
+    List.concat_map
+      (fun mech ->
+        List.init runs (fun i ->
+            Rs.v
+              ~world:(K23_kernel.World.Config.make ~seed:(run_seed i) ())
+              ~mech:(Mech.to_string mech) ~index:i
+              (fun () -> sample ~mech i)))
+      Mech.table5_rows
+  in
+  let samples = List.map snd (Rs.run_all ~jobs specs) in
+  (* regroup row-major: row i owns samples [i*runs, (i+1)*runs) *)
+  List.mapi
+    (fun i mech -> row_of_samples mech (List.filteri (fun j _ -> j / runs = i) samples))
+    Mech.table5_rows
 
 let render rows =
   let buf = Buffer.create 256 in

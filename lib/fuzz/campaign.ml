@@ -4,13 +4,21 @@
 
     Everything in the report is a pure function of the configuration —
     per-iteration program seeds are derived from the campaign seed, the
-    oracle worlds use a fixed world seed, and the report carries no
-    timing — so the same seed renders byte-identical JSON on every
-    machine.  Throughput (execs/sec) is measured by the bench harness
-    around this module, never inside the report. *)
+    oracle worlds are described by one [World.Config.t] record, and the
+    report carries no timing — so the same seed renders byte-identical
+    JSON on every machine.  Throughput (execs/sec) is measured by the
+    bench harness around this module, never inside the report.
+
+    Iterations are fully independent (each one builds fresh worlds
+    from [c_world]), so {!run} shards them across a domain pool when
+    [~jobs] is above 1: one run-spec per iteration, results merged in
+    iteration order, shrinking kept sequential in the merge phase.
+    The report is byte-identical whatever [jobs] is — dune runtest
+    pins [--jobs 1] against [--jobs 4] on the CLI's JSON output. *)
 
 module Mech = K23_eval.Mech
 module Rng = K23_util.Rng
+module World = K23_kernel.World
 
 type config = {
   c_seed : int;
@@ -18,7 +26,7 @@ type config = {
   c_mechs : Mech.t list;
   c_shapes : Gen.shape list;
   c_minimize : bool;  (** shrink each divergence to a minimal repro *)
-  c_world_seed : int;
+  c_world : World.Config.t;  (** recipe for every oracle world (the run-spec key) *)
   c_max_steps : int;
 }
 
@@ -29,7 +37,7 @@ let default_config =
     c_mechs = Oracle.default_mechs;
     c_shapes = Gen.default_shapes;
     c_minimize = false;
-    c_world_seed = Oracle.default_world_seed;
+    c_world = Oracle.default_world_cfg;
     c_max_steps = Oracle.default_max_steps;
   }
 
@@ -60,32 +68,30 @@ type report = {
 
 let total_divergences r = List.fold_left (fun a (_, n) -> a + n) 0 r.r_divergent
 
-(** Run a campaign.  [on_finding] fires as divergences are found (for
-    live CLI output); the report is assembled at the end. *)
-let run ?(on_finding = fun (_ : finding) -> ()) config =
-  let progs = ref [] in
-  let findings = ref [] in
-  let runs = ref 0 in
-  let counts = List.map (fun m -> (m, ref 0)) config.c_mechs in
-  for i = 0 to config.c_iters - 1 do
-    let pseed = iter_seed config i in
-    let rng = Rng.create ~seed:pseed in
-    let prog = Gen.generate ~shapes:config.c_shapes rng in
-    progs := prog :: !progs;
-    incr runs;
-    match
-      Oracle.run ~world_seed:config.c_world_seed ~max_steps:config.c_max_steps ~mech:Mech.Native
-        prog.Gen.items
-    with
-    | Oracle.Launch_failed e ->
-      failwith (Printf.sprintf "fuzz iter %d: native launch failed (%d)" i e)
-    | Oracle.Ok_run native ->
-      List.iter
+(** One iteration's parallel share: the generated program and the raw
+    divergences, in [c_mechs] order.  Everything here is a pure
+    function of (config, i); shrinking and report assembly happen in
+    the sequential merge so that [on_finding] ordering, shrink
+    scheduling and the report bytes never depend on [jobs]. *)
+type iter_out = { io_prog : Gen.prog; io_divs : (Mech.t * Oracle.divergence) list }
+
+let run_iter config i : iter_out =
+  let pseed = iter_seed config i in
+  let rng = Rng.create ~seed:pseed in
+  let prog = Gen.generate ~shapes:config.c_shapes rng in
+  match
+    Oracle.run ~cfg:config.c_world ~max_steps:config.c_max_steps ~mech:Mech.Native
+      prog.Gen.items
+  with
+  | Oracle.Launch_failed e ->
+    failwith (Printf.sprintf "fuzz iter %d: native launch failed (%d)" i e)
+  | Oracle.Ok_run native ->
+    let divs =
+      List.filter_map
         (fun mech ->
-          incr runs;
           let dv =
             match
-              Oracle.run ~world_seed:config.c_world_seed ~max_steps:config.c_max_steps ~mech
+              Oracle.run ~cfg:config.c_world ~max_steps:config.c_max_steps ~mech
                 prog.Gen.items
             with
             | Oracle.Launch_failed e ->
@@ -98,48 +104,71 @@ let run ?(on_finding = fun (_ : finding) -> ()) config =
                 }
             | Oracle.Ok_run m -> Oracle.compare_projected ~mech native m
           in
-          match dv with
-          | None -> ()
-          | Some d ->
-            incr (List.assoc mech counts);
-            let minimized, min_insns =
-              if not config.c_minimize then (None, None)
-              else
-                match
-                  Shrink.minimize ~world_seed:config.c_world_seed
-                    ~max_steps:config.c_max_steps ~mech prog.Gen.items
-                with
-                | None -> (None, None)
-                | Some r ->
-                  ( Some
-                      {
-                        Corpus.e_mech = mech;
-                        e_seed = pseed;
-                        e_expect = Oracle.render_divergence r.Shrink.divergence;
-                        e_items = r.Shrink.items;
-                      },
-                    Some (Gen.insn_count r.Shrink.items) )
-            in
-            let f =
-              {
-                f_iter = i;
-                f_prog_seed = pseed;
-                f_mech = mech;
-                f_divergence = d;
-                f_shapes = prog.Gen.shapes;
-                f_minimized = minimized;
-                f_min_insns = min_insns;
-              }
-            in
-            findings := f :: !findings;
-            on_finding f)
+          Option.map (fun d -> (mech, d)) dv)
         config.c_mechs
-  done;
-  let progs = List.rev !progs in
+    in
+    { io_prog = prog; io_divs = divs }
+
+(** Run a campaign.  [on_finding] fires as divergences are merged (for
+    live CLI output); the report is assembled at the end.  [jobs]
+    shards iterations across a domain pool ({!K23_par.Pool}); the
+    report is byte-identical for every value of [jobs]. *)
+let run ?(on_finding = fun (_ : finding) -> ()) ?(jobs = 1) config =
+  (* fan-out: one run-spec per iteration, keyed (world cfg, mech, i);
+     "*" because one task covers native plus every mechanism *)
+  let specs =
+    List.init config.c_iters (fun i ->
+        K23_par.Run_spec.v ~world:config.c_world ~mech:"*" ~index:i (fun () ->
+            run_iter config i))
+  in
+  let outs = List.map snd (K23_par.Run_spec.run_all ~jobs specs) in
+  (* sequential merge, in iteration order: counts, findings, shrinking *)
+  let findings = ref [] in
+  let counts = List.map (fun m -> (m, ref 0)) config.c_mechs in
+  List.iteri
+    (fun i out ->
+      let pseed = iter_seed config i in
+      List.iter
+        (fun (mech, d) ->
+          incr (List.assoc mech counts);
+          let minimized, min_insns =
+            if not config.c_minimize then (None, None)
+            else
+              match
+                Shrink.minimize ~cfg:config.c_world ~max_steps:config.c_max_steps ~mech
+                  out.io_prog.Gen.items
+              with
+              | None -> (None, None)
+              | Some r ->
+                ( Some
+                    {
+                      Corpus.e_mech = mech;
+                      e_seed = pseed;
+                      e_expect = Oracle.render_divergence r.Shrink.divergence;
+                      e_items = r.Shrink.items;
+                    },
+                  Some (Gen.insn_count r.Shrink.items) )
+          in
+          let f =
+            {
+              f_iter = i;
+              f_prog_seed = pseed;
+              f_mech = mech;
+              f_divergence = d;
+              f_shapes = out.io_prog.Gen.shapes;
+              f_minimized = minimized;
+              f_min_insns = min_insns;
+            }
+          in
+          findings := f :: !findings;
+          on_finding f)
+        out.io_divs)
+    outs;
+  let progs = List.map (fun o -> o.io_prog) outs in
   {
     r_config = config;
     r_programs = List.length progs;
-    r_runs = !runs;
+    r_runs = config.c_iters * (1 + List.length config.c_mechs);
     r_insns = List.fold_left (fun a p -> a + Gen.insn_count p.Gen.items) 0 progs;
     r_divergent = List.map (fun (m, c) -> (m, !c)) counts;
     r_findings = List.rev !findings;

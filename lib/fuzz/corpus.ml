@@ -22,23 +22,6 @@ type entry = {
 
 exception Parse_error of string
 
-let all_mechs =
-  [
-    Mech.Native;
-    Mech.Zpoline_default;
-    Mech.Zpoline_ultra;
-    Mech.Lazypoline;
-    Mech.K23_default;
-    Mech.K23_ultra;
-    Mech.K23_ultra_plus;
-    Mech.Sud_no_interposition;
-    Mech.Sud;
-    Mech.Ptrace;
-    Mech.Seccomp;
-  ]
-
-let mech_of_string s = List.find_opt (fun m -> Mech.to_string m = s) all_mechs
-
 (* ------------------------------------------------------------------ *)
 (* Serialisation                                                       *)
 
@@ -236,7 +219,7 @@ let of_string s : entry =
           and v = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
           (match k with
           | "mech" -> (
-            match mech_of_string v with
+            match Mech.of_string v with
             | Some m -> mech := Some m
             | None -> raise (Parse_error ("unknown mech: " ^ v)))
           | "seed" -> seed := num v

@@ -75,10 +75,15 @@ type outcome =
 let default_world_seed = 97
 let default_max_steps = 3_000_000
 
-(** Run [items] (plus the execve helper) under [mech] in a fresh
-    world; returns the raw material for projection. *)
-let run_raw ?(world_seed = default_world_seed) ?(max_steps = default_max_steps) ~mech items =
-  let w = Sim.create_world ~seed:world_seed () in
+(** The oracle's world recipe: the fixed fuzz seed over the default
+    configuration.  Campaigns carry (and may override) this record —
+    it is the [k_world] half of every run-spec's key. *)
+let default_world_cfg = { World.Config.default with World.Config.seed = default_world_seed }
+
+(** Run [items] (plus the execve helper) under [mech] in a fresh world
+    built from [cfg]; returns the raw material for projection. *)
+let run_raw ?(cfg = default_world_cfg) ?(max_steps = default_max_steps) ~mech items =
+  let w = Sim.create_world_cfg cfg in
   ignore (Sim.register_app w ~path:target_path items);
   ignore (Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items);
   if Mech.needs_offline mech then begin
@@ -257,8 +262,8 @@ let project (p : Kern.proc) (w : Kern.world) events =
   in
   { streams; fates; console = World.stdout_of p }
 
-let run ?world_seed ?max_steps ~mech items =
-  match run_raw ?world_seed ?max_steps ~mech items with
+let run ?cfg ?max_steps ~mech items =
+  match run_raw ?cfg ?max_steps ~mech items with
   | Error e -> Launch_failed e
   | Ok (w, p, events) -> Ok_run (project p w events)
 
@@ -323,8 +328,8 @@ let compare_projected ~mech (native : projected) (m : projected) : divergence op
 
 (** Run [items] natively and under [mech]; [Some divergence] if the
     application-observable behaviour differs. *)
-let diverges ?world_seed ?max_steps ~mech items =
-  match run ?world_seed ?max_steps ~mech:Mech.Native items with
+let diverges ?cfg ?max_steps ~mech items =
+  match run ?cfg ?max_steps ~mech:Mech.Native items with
   | Launch_failed e ->
     Some
       {
@@ -334,7 +339,7 @@ let diverges ?world_seed ?max_steps ~mech items =
         d_mech_val = "";
       }
   | Ok_run native -> (
-    match run ?world_seed ?max_steps ~mech items with
+    match run ?cfg ?max_steps ~mech items with
     | Launch_failed e ->
       Some
         {

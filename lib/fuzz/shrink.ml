@@ -25,11 +25,11 @@ let drop n l = List.filteri (fun i _ -> i >= n) l
 (** Remove the slice [lo, lo+len) of [l]. *)
 let without l lo len = take lo l @ drop (lo + len) l
 
-let minimize ?world_seed ?max_steps ~mech items =
+let minimize ?cfg ?max_steps ~mech items =
   let tests = ref 0 in
   let check its =
     incr tests;
-    match Oracle.diverges ?world_seed ?max_steps ~mech its with
+    match Oracle.diverges ?cfg ?max_steps ~mech its with
     | exception _ -> None (* no longer assembles / launches: not a repro *)
     | d -> d
   in

@@ -220,7 +220,7 @@ let sigsys = 31
 (* World construction                                                  *)
 
 let create_world ?(ncores = 12) ?(quantum = 64) ?(seed = 23) ?(aslr = true)
-    ?(cost = Cost.default) () =
+    ?(cost = Cost.default) ?(predecode = true) () =
   let rng = Rng.create ~seed in
   (* per-run machine-state skew (~±0.7% on the kernel path): repeated
      runs with different seeds show realistic standard deviations *)
@@ -228,7 +228,7 @@ let create_world ?(ncores = 12) ?(quantum = 64) ?(seed = 23) ?(aslr = true)
   {
     cost;
     ncores;
-    icaches = Array.init ncores (fun _ -> Icache.create ());
+    icaches = Array.init ncores (fun _ -> Icache.create ~predecode ());
     core_cycles = Array.make ncores 0;
     core_resident = Array.make ncores (-1);
     procs = [];

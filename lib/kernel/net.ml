@@ -94,9 +94,17 @@ type listener = {
 
 let backlog_length l = List.length l.bl_front + List.length l.bl_back
 
-type t = { listeners : (int, listener) Hashtbl.t; mutable next_conn : int }
+type t = {
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_conn : int;
+  bound_ports : (int * int, int) Hashtbl.t;
+      (* (pid, sockfd) -> bound port; world-local so concurrent worlds
+         on separate domains never share it (it used to be a
+         module-level table in Syscalls) *)
+}
 
-let create () = { listeners = Hashtbl.create 8; next_conn = 1 }
+let create () =
+  { listeners = Hashtbl.create 8; next_conn = 1; bound_ports = Hashtbl.create 16 }
 
 let listen t port =
   if Hashtbl.mem t.listeners port then Error `Addrinuse

@@ -37,7 +37,14 @@ type listener = private {
 
 val backlog_length : listener -> int
 
-type t = { listeners : (int, listener) Hashtbl.t; mutable next_conn : int }
+type t = {
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_conn : int;
+  bound_ports : (int * int, int) Hashtbl.t;
+      (** (pid, sockfd) -> bound port.  World-local state: keeping it
+          here (rather than a module-level table) is what lets many
+          worlds run concurrently on separate domains. *)
+}
 
 val create : unit -> t
 val listen : t -> int -> (listener, [ `Addrinuse ]) result

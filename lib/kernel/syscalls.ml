@@ -374,9 +374,6 @@ let do_prctl (w : world) (th : thread) args =
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 
-(* (pid, sockfd) -> bound port; a side table keeps the fdesc type small *)
-let bound_ports : (int * int, int) Hashtbl.t = Hashtbl.create 16
-
 let dispatch (ctx : ctx) ~nr ~args : int =
   let w = ctx.world and th = ctx.thread in
   let p = th.t_proc in
@@ -482,12 +479,12 @@ let dispatch (ctx : ctx) ~nr ~args : int =
   | n when n = Sysno.bind ->
     (* sockaddr is modelled as a bare port number (loopback only) *)
     if Hashtbl.mem p.fds args.(0) then begin
-      Hashtbl.replace bound_ports (p.pid, args.(0)) args.(1);
+      Hashtbl.replace w.net.Net.bound_ports (p.pid, args.(0)) args.(1);
       0
     end
     else Errno.ret Errno.ebadf
   | n when n = Sysno.listen -> (
-    match Hashtbl.find_opt bound_ports (p.pid, args.(0)) with
+    match Hashtbl.find_opt w.net.Net.bound_ports (p.pid, args.(0)) with
     | None -> Errno.ret Errno.einval
     | Some port -> (
       match Net.listen w.net port with

@@ -4,10 +4,67 @@
 
 open Kern
 
-(** Create a fully wired world: syscall dispatch, execve, the dynamic
-    linker, the vdso and a minimal filesystem skeleton. *)
-let create ?ncores ?quantum ?seed ?aslr ?cost () =
-  let w = create_world ?ncores ?quantum ?seed ?aslr ?cost () in
+(** The complete recipe for one world, as a plain record.
+
+    This is the unit of work of the domain pool ({!K23_par}): every
+    run-spec embeds a [Config.t], two equal configs (plus equal
+    programs) produce byte-identical worlds, and the record is
+    structurally hashable/serialisable — so it doubles as the task
+    descriptor that campaign reports and caches key on.  Prefer
+    {!create_cfg} over the legacy optional-argument {!create}. *)
+module Config = struct
+  type t = {
+    ncores : int;
+    quantum : int;  (** scheduler timeslice, in instructions *)
+    seed : int;  (** world RNG seed: ASLR draws + cost skew *)
+    aslr : bool;
+    cost : K23_machine.Cost.model;
+    ktrace : bool;  (** enable the ktrace ring at creation *)
+    predecode : bool;  (** per-line decode memo in every I-cache *)
+  }
+
+  let default =
+    {
+      ncores = 12;
+      quantum = 64;
+      seed = 23;
+      aslr = true;
+      cost = K23_machine.Cost.default;
+      ktrace = false;
+      predecode = true;
+    }
+
+  (** [default] with the given fields overridden — the bridge from the
+      optional-argument world constructors. *)
+  let make ?(ncores = default.ncores) ?(quantum = default.quantum) ?(seed = default.seed)
+      ?(aslr = default.aslr) ?(cost = default.cost) ?(ktrace = default.ktrace)
+      ?(predecode = default.predecode) () =
+    { ncores; quantum; seed; aslr; cost; ktrace; predecode }
+
+  (* every field is immutable ints/bools, so structural equality and
+     the polymorphic hash are exact *)
+  let equal (a : t) (b : t) = a = b
+  let hash (t : t) = Hashtbl.hash t
+
+  (** Deterministic one-line key, stable across processes (unlike
+      [hash] it is readable in reports and cache file names). *)
+  let to_string c =
+    let m = c.cost in
+    Printf.sprintf
+      "ncores=%d quantum=%d seed=%d aslr=%b ktrace=%b predecode=%b \
+       cost=%d,%d,%d,%d,%d,%d,%d,%d"
+      c.ncores c.quantum c.seed c.aslr c.ktrace c.predecode m.insn m.nop m.syscall_base
+      m.sud_armed_extra m.sigsys_delivery m.sigreturn_extra m.ptrace_stop m.ptrace_mem_op
+end
+
+(** Create a fully wired world from a {!Config.t}: syscall dispatch,
+    execve, the dynamic linker, the vdso and a minimal filesystem
+    skeleton. *)
+let create_cfg (cfg : Config.t) =
+  let w =
+    create_world ~ncores:cfg.ncores ~quantum:cfg.quantum ~seed:cfg.seed ~aslr:cfg.aslr
+      ~cost:cfg.cost ~predecode:cfg.predecode ()
+  in
   w.syscall_impl <- Some Syscalls.dispatch;
   w.execve_impl <- Some Loader.do_execve;
   register_library w (Loader.ldso_image ());
@@ -17,7 +74,18 @@ let create ?ncores ?quantum ?seed ?aslr ?cost () =
     [ "/bin"; "/usr/lib"; "/etc"; "/tmp"; "/home/user"; "/k23" ];
   ignore (Vfs.write_file w.vfs "/etc/ld.so.cache" "ld.so cache\n");
   ignore (Vfs.write_file w.vfs "/etc/hostname" "sim\n");
+  if cfg.ktrace then ignore (ktrace_enable w);
   w
+
+(** Legacy constructor, kept as a thin wrapper over {!create_cfg}. *)
+let create ?ncores ?quantum ?seed ?aslr ?cost () =
+  create_cfg (Config.make ?ncores ?quantum ?seed ?aslr ?cost ())
+
+(** Flip the predecode memo of every core's I-cache at once. *)
+let set_predecode (w : world) on =
+  Array.iter (fun ic -> K23_machine.Icache.set_predecode ic on) w.icaches
+[@@deprecated "set Config.predecode (or World.create_cfg) instead: flipping a live world \
+               mid-run is racy under the domain pool"]
 
 (** Spawn a process running [path].  [env] is a list of "K=V" strings;
     LD_PRELOAD is honoured exactly as by the dynamic loader.  A

@@ -52,19 +52,22 @@ type t = {
           Straight-line execution touches the hashtable only on line
           crossings. *)
   mutable last_line : line;
+  mutable predecode : bool;
+      (** per-instance: worlds owned by different domains must not
+          share any mutable toggle (this used to be a module-level
+          [ref], which would race across a domain pool) *)
 }
 
 (* Shared placeholder behind an empty [last_base]; never read because
    every access guards on [last_base]. *)
 let no_line = { bytes = Bytes.empty; decoded = [||] }
 
-let predecode = ref true
+let set_predecode t on = t.predecode <- on
 
-let set_predecode on = predecode := on
+let predecode_enabled t = t.predecode
 
-let predecode_enabled () = !predecode
-
-let create () = { lines = Hashtbl.create 256; last_base = min_int; last_line = no_line }
+let create ?(predecode = true) () =
+  { lines = Hashtbl.create 256; last_base = min_int; last_line = no_line; predecode }
 
 let line_base addr = addr land lnot (line_size - 1)
 
@@ -105,7 +108,7 @@ let fetch_u8 t (mem : Memory.t) addr =
     path sees exactly the cached bytes the byte model would serve.
     @raise Memory.Fault as {!fetch_u8} (NX / unmapped fill). *)
 let fetch_decode t (mem : Memory.t) addr =
-  if not !predecode then Decode.decode (fun a -> fetch_u8 t mem a) addr
+  if not t.predecode then Decode.decode (fun a -> fetch_u8 t mem a) addr
   else
     let line = get_line t mem addr in
     let off = addr - line_base addr in

@@ -15,7 +15,11 @@ val line_size : int
 
 type t
 
-val create : unit -> t
+val create : ?predecode:bool -> unit -> t
+(** [predecode] (default on) enables the per-line decode memo for this
+    cache instance.  It is per-instance state on purpose: worlds run
+    concurrently on separate domains ([K23_par.Pool]) and must share
+    no mutable toggles. *)
 
 val fetch_u8 : t -> Memory.t -> int -> int
 (** Fetch one instruction byte through the cache; fills the containing
@@ -29,12 +33,14 @@ val fetch_decode : t -> Memory.t -> int -> (K23_isa.Insn.t * int, K23_isa.Decode
     bytes live in two lines with independent lifetimes).
     @raise Memory.Fault as {!fetch_u8}. *)
 
-val set_predecode : bool -> unit
-(** Globally enable/disable the predecode memo (default on).  Off,
+val set_predecode : t -> bool -> unit
+(** Enable/disable this instance's predecode memo.  Off,
     {!fetch_decode} decodes byte-by-byte through {!fetch_u8} — the
-    reference path the coherence tests compare against. *)
+    reference path the coherence tests compare against.  Prefer
+    setting it at creation time (via [World.Config.predecode]);
+    [World.set_predecode] flips every cache of a world at once. *)
 
-val predecode_enabled : unit -> bool
+val predecode_enabled : t -> bool
 
 val invalidate_range : t -> addr:int -> len:int -> unit
 val flush : t -> unit

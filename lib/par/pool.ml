@@ -1,0 +1,74 @@
+(** Bounded domain pool for independent world-runs.
+
+    Every simulated world is fully isolated (its own memory, VFS, net,
+    RNG, I-caches) and deterministically seeded, so running many of
+    them is embarrassingly parallel — the same property rr's extended
+    technical report exploits to farm out bit-identical replays.  The
+    pool keeps that determinism visible in the API:
+
+    - tasks are numbered by their position in the input list;
+    - results come back {e in input order}, whatever interleaving the
+      domains actually executed ([map ~jobs:1] and [map ~jobs:64]
+      return the same list for pure tasks);
+    - an exception raised by a task is re-raised by {!map} — and when
+      several tasks fail, the one with the {e lowest index} wins, so
+      failure reporting does not depend on scheduling either.
+
+    [jobs <= 1] (or a single task) short-circuits to a plain
+    sequential loop on the calling domain: no domains are spawned and
+    the code path is byte-for-byte the pre-pool one.
+
+    The pool is deliberately dumb: a work queue drained by
+    [Atomic.fetch_and_add], one domain per job, no futures, no
+    work-stealing.  World-runs are coarse (milliseconds to seconds);
+    queue-pop cost is noise.  What matters — and what the tests pin
+    down — is that nothing observable depends on domain scheduling.
+
+    Tasks must not share mutable state; the simulator's audit
+    (DESIGN.md §4f) keeps the tree free of domain-visible globals. *)
+
+(** Natural parallelism of the host ([Domain.recommended_domain_count],
+    which accounts for the machine's cores). *)
+let default_jobs () = Domain.recommended_domain_count ()
+
+(** [map ~jobs f tasks] applies [f] to every task, running up to
+    [jobs] at a time, and returns the results in input order.
+    Re-raises the lowest-indexed task exception, after every domain
+    has been joined. *)
+let map ~jobs (f : 'a -> 'b) (tasks : 'a list) : 'b list =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f tasks
+  else begin
+    let results : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            match f arr.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    (* joins establish happens-before: every slot is visible and filled *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    List.init n (fun i ->
+        match results.(i) with Some (Ok v) -> v | Some (Error _) | None -> assert false)
+  end
+
+(** [mapi] with the task index, same ordering/exception contract. *)
+let mapi ~jobs f tasks = map ~jobs (fun (i, t) -> f i t) (List.mapi (fun i t -> (i, t)) tasks)

@@ -1,0 +1,43 @@
+(** The unified Run-spec API: one record per world-run.
+
+    Every fan-out surface (fuzz campaigns, the Table 5/6 sweeps, the
+    bench harness) used to describe a run as a pile of optional
+    arguments threaded through ad-hoc call chains.  A run-spec makes
+    the description first-class: the full world recipe
+    ([World.Config.t]), the mechanism name, and the task's index in
+    its sweep.  The key is pure data — hashable, serialisable
+    ({!key_to_string}), and sufficient to replay the task alone —
+    which is exactly what deterministic result merging needs: results
+    are merged {e by key order of submission}, never by completion
+    order, so a report assembled from [--jobs 64] is byte-identical to
+    the sequential one. *)
+
+module Config = K23_kernel.World.Config
+
+type key = {
+  k_world : Config.t;  (** the world recipe (carries the seed) *)
+  k_mech : string;  (** mechanism under test, or ["*"] for a multi-mechanism task *)
+  k_index : int;  (** position in the sweep (iteration, sample or cell number) *)
+}
+
+(** Stable, readable identity — (seed, mech, index) first, then the
+    rest of the world recipe. *)
+let key_to_string k =
+  Printf.sprintf "seed=%d mech=%s index=%d [%s]" k.k_world.Config.seed k.k_mech k.k_index
+    (Config.to_string k.k_world)
+
+let equal_key (a : key) (b : key) = a = b
+let hash_key (k : key) = Hashtbl.hash k
+
+type 'a t = {
+  key : key;
+  run : unit -> 'a;  (** must build its own world(s) from [key.k_world]: nothing shared *)
+}
+
+let v ~world ~mech ~index run = { key = { k_world = world; k_mech = mech; k_index = index }; run }
+
+(** Execute the specs on the pool; results are paired with their keys,
+    in submission order (see {!Pool.map} for the determinism and
+    exception contract). *)
+let run_all ~jobs (specs : 'a t list) : (key * 'a) list =
+  Pool.map ~jobs (fun spec -> (spec.key, spec.run ())) specs

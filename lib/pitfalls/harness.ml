@@ -51,8 +51,8 @@ type verdict = { handled : bool; detail : string }
 
 (* --- plumbing ------------------------------------------------------- *)
 
-let fresh_world ?quantum ?seed () =
-  let w = Sim.create_world ?quantum ?seed () in
+let fresh_world ?quantum ?seed ?predecode () =
+  let w = Sim.create_world ?quantum ?seed ?predecode () in
   Pocs.register_all w;
   w
 
@@ -67,8 +67,8 @@ let launch_under sys w ~path ?argv () =
     [~ktrace:true] records the run's event stream and named counters
     (read them back via [w.Kern.ktrace]); recording stays off by
     default so Table 3 regeneration pays nothing. *)
-let run_poc sys ~path ?argv ?quantum ?(ktrace = false) ?(max_steps = 30_000_000) () =
-  let w = fresh_world ?quantum () in
+let run_poc sys ?predecode ~path ?argv ?quantum ?(ktrace = false) ?(max_steps = 30_000_000) () =
+  let w = fresh_world ?quantum ?predecode () in
   if ktrace then ignore (Kern.ktrace_enable w);
   (match sys with
   | K23_sys ->
@@ -96,10 +96,10 @@ let exit_desc (p : Kern.proc) =
 
 (* --- the checks ----------------------------------------------------- *)
 
-let check sys pitfall : verdict =
+let check ?predecode sys pitfall : verdict =
   match pitfall with
   | P1a ->
-    let _, _, stats = run_poc sys ~path:Pocs.p1a_path () in
+    let _, _, stats = run_poc sys ?predecode ~path:Pocs.p1a_path () in
     let n = count_500 stats in
     {
       handled = n >= 10;
@@ -107,7 +107,7 @@ let check sys pitfall : verdict =
         Printf.sprintf "%d/10 syscalls of the execve'd (empty-env) child interposed" n;
     }
   | P1b ->
-    let _, _, stats = run_poc sys ~path:Pocs.p1b_path () in
+    let _, _, stats = run_poc sys ?predecode ~path:Pocs.p1b_path () in
     let n = count_500 stats in
     if stats.aborts > 0 then
       { handled = true; detail = "prctl(PR_SYS_DISPATCH_OFF) detected; process aborted" }
@@ -117,14 +117,14 @@ let check sys pitfall : verdict =
         detail = Printf.sprintf "%d/10 post-disable syscalls interposed" n;
       }
   | P2a ->
-    let _, _, stats = run_poc sys ~path:Pocs.p2a_path () in
+    let _, _, stats = run_poc sys ?predecode ~path:Pocs.p2a_path () in
     let n = count_500 stats in
     {
       handled = n >= 10;
       detail = Printf.sprintf "%d/10 syscalls from JIT-style code interposed" n;
     }
   | P2b ->
-    let _, p, stats = run_poc sys ~path:Pocs.p2b_path () in
+    let _, p, stats = run_poc sys ?predecode ~path:Pocs.p2b_path () in
     let missed = p.counters.c_app - stats.interposed in
     {
       handled = missed = 0 && p.counters.c_vdso = 0;
@@ -133,7 +133,7 @@ let check sys pitfall : verdict =
           missed p.counters.c_startup p.counters.c_vdso;
     }
   | P3a ->
-    let _, p, _ = run_poc sys ~path:Pocs.p3a_path () in
+    let _, p, _ = run_poc sys ?predecode ~path:Pocs.p3a_path () in
     {
       handled = p.exit_status = Some 0;
       detail =
@@ -144,7 +144,7 @@ let check sys pitfall : verdict =
     }
   | P3b ->
     let _, p, _ =
-      run_poc sys ~path:Pocs.p3b_path ~argv:[ Pocs.p3b_path; "attack" ] ()
+      run_poc sys ?predecode ~path:Pocs.p3b_path ~argv:[ Pocs.p3b_path; "attack" ] ()
     in
     {
       handled = p.exit_status = Some 0;
@@ -156,7 +156,7 @@ let check sys pitfall : verdict =
     }
   | P4a ->
     let _, p, stats =
-      run_poc sys ~path:Pocs.p4a_path ~argv:[ Pocs.p4a_path; "attack" ] ()
+      run_poc sys ?predecode ~path:Pocs.p4a_path ~argv:[ Pocs.p4a_path; "attack" ] ()
     in
     if stats.aborts > 0 && p.term_signal = Some 6 then
       { handled = true; detail = "NULL execution detected; process aborted" }
@@ -164,7 +164,7 @@ let check sys pitfall : verdict =
       { handled = false; detail = "NULL call silently misdirected into the trampoline" }
     else { handled = true; detail = exit_desc p }
   | P4b ->
-    let _, p, _ = run_poc sys ~path:Pocs.target_path () in
+    let _, p, _ = run_poc sys ?predecode ~path:Pocs.target_path () in
     let reserved, resident, desc =
       match sys with
       | Zpoline ->
@@ -181,7 +181,7 @@ let check sys pitfall : verdict =
         Printf.sprintf "%s: %d bytes reserved, %d resident" desc reserved resident;
     }
   | P5 ->
-    let _, p, _ = run_poc sys ~path:Pocs.p5_path ~quantum:1 () in
+    let _, p, _ = run_poc sys ?predecode ~path:Pocs.p5_path ~quantum:1 () in
     {
       handled = p.exit_status = Some 0;
       detail =

@@ -4,13 +4,18 @@
 open K23_kernel
 
 (** A wired world with libc, the stub libraries, and the files the
-    startup sequence touches. *)
-let create_world ?ncores ?quantum ?seed ?aslr ?cost () =
-  let w = World.create ?ncores ?quantum ?seed ?aslr ?cost () in
+    startup sequence touches, built from a {!World.Config.t} — the
+    run-spec form used by the domain pool ({!K23_par}). *)
+let create_world_cfg cfg =
+  let w = World.create_cfg cfg in
   Kern.register_library w (Libc.image ());
   List.iter (Kern.register_library w) (Stdlibs.all ());
   ignore (Vfs.write_file w.vfs "/usr/lib/locale/locale-archive" (String.make 1024 'L'));
   w
+
+(** Legacy optional-argument constructor (thin wrapper). *)
+let create_world ?ncores ?quantum ?seed ?aslr ?cost ?ktrace ?predecode () =
+  create_world_cfg (World.Config.make ?ncores ?quantum ?seed ?aslr ?cost ?ktrace ?predecode ())
 
 (** Define and register an application binary.
 

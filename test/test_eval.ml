@@ -34,6 +34,25 @@ let test_table2_counts_match_paper () =
       Alcotest.(check int) name expected (OC.coreutil_sites name))
     OC.coreutil_expected
 
+(* the single mechanism-name registry: every variant round-trips
+   through its canonical name, the short aliases resolve, and parsing
+   is case-insensitive *)
+let test_mech_roundtrip () =
+  List.iter
+    (fun m ->
+      let name = Mech.to_string m in
+      match Mech.of_string name with
+      | Some m' -> Alcotest.(check bool) (name ^ " round-trips") true (m = m')
+      | None -> Alcotest.failf "of_string rejected canonical name %S" name)
+    Mech.all;
+  Alcotest.(check int) "names are unique"
+    (List.length Mech.all)
+    (List.sort_uniq compare (List.map Mech.to_string Mech.all) |> List.length);
+  Alcotest.(check bool) "zpoline alias" true (Mech.of_string "zpoline" = Some Mech.Zpoline_default);
+  Alcotest.(check bool) "k23 alias" true (Mech.of_string "k23" = Some Mech.K23_default);
+  Alcotest.(check bool) "case-insensitive" true (Mech.of_string "SECCOMP" = Some Mech.Seccomp);
+  Alcotest.(check bool) "unknown rejected" true (Mech.of_string "frobnicate" = None)
+
 let test_fig3_format () =
   let log = OC.fig3 () in
   let lines = String.split_on_char '\n' log |> List.filter (fun l -> l <> "") in
@@ -53,4 +72,5 @@ let tests =
       Alcotest.test_case "Table 5 ordering" `Slow test_table5_ordering;
       Alcotest.test_case "Table 2 coreutil counts" `Slow test_table2_counts_match_paper;
       Alcotest.test_case "Figure 3 log format" `Quick test_fig3_format;
+      Alcotest.test_case "Mech name registry round-trip" `Quick test_mech_roundtrip;
     ] )

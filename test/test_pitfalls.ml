@@ -13,13 +13,13 @@ let check_cell sys pf () =
 (* The predecode layer must not perturb the stale-I-cache (P3b) and
    torn-write (P5) scenarios: the same verdict, with the same detail,
    whether instructions are memoised per line or re-decoded
-   byte-by-byte every step. *)
+   byte-by-byte every step.  The toggle is per-world configuration
+   (World.Config.predecode) — there is no global to flip and restore
+   any more. *)
 let check_predecode_invariant pf () =
   let run_with on =
-    K23_machine.Icache.set_predecode on;
-    Fun.protect
-      ~finally:(fun () -> K23_machine.Icache.set_predecode true)
-      (fun () -> H.check Zpoline pf, H.check Lazypoline pf, H.check K23_sys pf)
+    (H.check ~predecode:on Zpoline pf, H.check ~predecode:on Lazypoline pf,
+     H.check ~predecode:on K23_sys pf)
   in
   let on = run_with true and off = run_with false in
   let cmp sys (von : H.verdict) (voff : H.verdict) =
