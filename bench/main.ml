@@ -7,12 +7,13 @@
      dune exec bench/main.exe -- --quick table5 table6   # fewer runs
 
    Experiments: table2 table3 fig3 table5 table6 startup memory
-   ablation simperf ktrace fuzz.  EXPERIMENTS.md records the
+   ablation simperf ktrace fuzz parfuzz.  EXPERIMENTS.md records the
    paper-vs-measured comparison in full.
 
    --jobs N shards the embarrassingly-parallel sweeps (table5, table6,
-   fuzz) across N domains via K23_par; every table is byte-identical
-   whatever N is. *)
+   fuzz, parfuzz) across N domains via K23_par; every table is
+   byte-identical whatever N is.  parfuzz measures the jobs scaling
+   curve itself (--repeat N medians, --check for the CI gate). *)
 
 open K23_eval
 
@@ -121,9 +122,9 @@ let seccomp () =
    itself is deterministic, and the harness asserts the sequential and
    parallel reports render identical JSON.  Wall-clock time
    (Unix.gettimeofday) rather than CPU time: Sys.time sums across
-   domains and would hide any parallel speedup.  [--json <path>]
-   writes the measurements (BENCH_parfuzz.json / EXPERIMENTS.md). *)
-let fuzz ~quick ~jobs ?json () =
+   domains and would hide any parallel speedup.  The scaling curve and
+   its JSON artifact live in the [parfuzz] experiment. *)
+let fuzz ~quick ~jobs () =
   let module F = K23_fuzz in
   section "fuzz - differential conformance fuzzer (throughput & coverage)";
   let iters = if quick then 50 else 300 in
@@ -154,8 +155,54 @@ let fuzz ~quick ~jobs ?json () =
   Printf.printf "\nsyscall coverage:\n";
   List.iter
     (fun (nr, v) -> Printf.printf "  %-14s %6d\n" (K23_kernel.Sysno.name nr) v)
-    r.F.Campaign.r_sys_hist;
-  match json with
+    r.F.Campaign.r_sys_hist
+
+(* The --jobs scaling curve: the same campaign at jobs = 1, 2, 4, 8,
+   asserting every report renders byte-identical JSON.  [--repeat N]
+   runs each point N times and keeps the median after the paper's
+   drop-one-min/one-max outlier rule (§6.2 methodology, applied to our
+   own harness).  [--json <path>] writes BENCH_parfuzz.json;
+   [--check] exits non-zero when the determinism or scaling floor is
+   violated — the CI sanity gate. *)
+let parfuzz ~quick ~repeat ~check ~jobs ?json () =
+  let module F = K23_fuzz in
+  section "parfuzz - --jobs scaling curve (throughput & determinism)";
+  let iters = if quick then 50 else 300 in
+  let config = { F.Campaign.default_config with c_iters = iters } in
+  let jobs_list =
+    match jobs with Some j -> [ 1; j ] | None -> [ 1; 2; 4; 8 ]
+  in
+  let reference = ref None in
+  let identical = ref true in
+  let measure j =
+    let samples =
+      List.init (max 1 repeat) (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          let r = F.Campaign.run ~jobs:j config in
+          let dt = Unix.gettimeofday () -. t0 in
+          let js = F.Campaign.render_json r in
+          (match !reference with
+          | None -> reference := Some (r, js)
+          | Some (_, ref_js) -> if js <> ref_js then identical := false);
+          dt)
+    in
+    K23_util.Stats.median (K23_util.Stats.drop_outliers samples)
+  in
+  let curve = List.map (fun j -> (j, measure j)) jobs_list in
+  let r = fst (Option.get !reference) in
+  let runs = float_of_int r.F.Campaign.r_runs in
+  let eps dt = runs /. dt in
+  let dt1 = List.assoc 1 curve in
+  Printf.printf "%d iterations, %d oracle runs per point, repeat=%d, %d core(s)\n\n" iters
+    r.F.Campaign.r_runs (max 1 repeat)
+    (Domain.recommended_domain_count ());
+  Printf.printf "  %-6s %10s %12s %9s\n" "jobs" "wall_s" "execs/sec" "speedup";
+  List.iter
+    (fun (j, dt) ->
+      Printf.printf "  %-6d %10.2f %12.1f %8.2fx\n" j dt (eps dt) (dt1 /. dt))
+    curve;
+  Printf.printf "\nreports byte-identical across all points: %b\n" !identical;
+  (match json with
   | None -> ()
   | Some path ->
     let oc = open_out path in
@@ -165,27 +212,63 @@ let fuzz ~quick ~jobs ?json () =
       \  \"iters\": %d,\n\
       \  \"oracle_runs\": %d,\n\
       \  \"cores\": %d,\n\
-      \  \"jobs\": %d,\n\
-      \  \"wall_s_jobs1\": %.3f,\n\
-      \  \"wall_s_jobsN\": %.3f,\n\
-      \  \"execs_per_sec_jobs1\": %.1f,\n\
-      \  \"execs_per_sec_jobsN\": %.1f,\n\
-      \  \"speedup\": %.3f,\n\
-      \  \"reports_identical\": true\n\
+      \  \"repeat\": %d,\n\
+      \  \"reports_identical\": %b,\n\
+      \  \"curve\": [\n%s\n  ]\n\
        }\n"
       iters r.F.Campaign.r_runs
       (Domain.recommended_domain_count ())
-      jobs dt1 dtn
-      (float_of_int r.F.Campaign.r_runs /. dt1)
-      (float_of_int r.F.Campaign.r_runs /. dtn)
-      (dt1 /. dtn);
+      (max 1 repeat) !identical
+      (String.concat ",\n"
+         (List.map
+            (fun (j, dt) ->
+              Printf.sprintf
+                "    {\"jobs\": %d, \"wall_s\": %.3f, \"execs_per_sec\": %.1f, \
+                 \"speedup\": %.3f}"
+                j dt (eps dt) (dt1 /. dt))
+            curve));
     close_out oc;
-    Printf.printf "wrote %s\n" path
+    Printf.printf "wrote %s\n" path);
+  if check then begin
+    let failed = ref false in
+    if not !identical then begin
+      prerr_endline "parfuzz --check: FAIL — reports differ across jobs values";
+      failed := true
+    end;
+    (* the scaling floor needs a second core to be meaningful: on one
+       core extra domains only add minor-GC stop-the-world pauses *)
+    (match List.assoc_opt 2 curve with
+    | Some dt2 when Domain.recommended_domain_count () >= 2 && eps dt2 < 0.9 *. eps dt1 ->
+      Printf.eprintf
+        "parfuzz --check: FAIL — jobs=2 throughput %.1f < 0.9 x jobs=1 %.1f\n" (eps dt2)
+        (eps dt1);
+      failed := true
+    | _ -> ());
+    if !failed then exit 1;
+    print_endline "parfuzz --check: ok"
+  end
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  let check = List.mem "--check" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "--check") args in
+  let repeat, args =
+    let rec go acc = function
+      | [ "--repeat" ] ->
+        prerr_endline "--repeat requires a count (e.g. --repeat 5)";
+        exit 2
+      | "--repeat" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 -> (k, List.rev_append acc rest)
+        | _ ->
+          Printf.eprintf "--repeat: not a positive integer: %S\n" n;
+          exit 2)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> (1, List.rev acc)
+    in
+    go [] args
+  in
   let json, args =
     let rec go acc = function
       | [ "--json" ] ->
@@ -237,6 +320,7 @@ let () =
       | "arm" -> arm ()
       | "simperf" -> simperf ~quick ?json ()
       | "ktrace" -> ktrace ~quick ()
-      | "fuzz" -> fuzz ~quick ~jobs ?json ()
+      | "fuzz" -> fuzz ~quick ~jobs ()
+      | "parfuzz" -> parfuzz ~quick ~repeat ~check ~jobs ?json ()
       | other -> Printf.eprintf "unknown experiment %S\n" other)
     experiments

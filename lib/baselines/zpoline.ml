@@ -88,7 +88,10 @@ let init ~variant cfg (ctx : ctx) =
   List.iter
     (fun r ->
       let bytes = Memory.read_bytes_raw p.mem r.r_start r.r_len in
-      let found = Disasm.find_syscall_sites bytes ~base:r.r_start in
+      (* the sweep dominates launch cost (libc alone is ~200 KiB of
+         text) and its result depends only on the bytes: the memo
+         returns the identical site list, re-based per ASLR slide *)
+      let found = Disasm.find_syscall_sites_memo bytes ~base:r.r_start in
       List.iter
         (fun site ->
           rewrite_site_atomic ctx ~site;

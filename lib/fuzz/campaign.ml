@@ -68,14 +68,17 @@ type report = {
 
 let total_divergences r = List.fold_left (fun a (_, n) -> a + n) 0 r.r_divergent
 
-(** One iteration's parallel share: the generated program and the raw
-    divergences, in [c_mechs] order.  Everything here is a pure
-    function of (config, i); shrinking and report assembly happen in
-    the sequential merge so that [on_finding] ordering, shrink
-    scheduling and the report bytes never depend on [jobs]. *)
+(** One iteration's merged share: the generated program and the raw
+    divergences, in [c_mechs] order.  Shrinking and report assembly
+    happen in the sequential merge so that [on_finding] ordering,
+    shrink scheduling and the report bytes never depend on [jobs]. *)
 type iter_out = { io_prog : Gen.prog; io_divs : (Mech.t * Oracle.divergence) list }
 
-let run_iter config i : iter_out =
+(* Phase A task: generate iteration [i]'s program and run the native
+   reference once.  Both outputs are immutable data (the program is
+   the generator's item list; the projection is ints and strings), so
+   sharing them with phase B tasks on other domains is safe. *)
+let gen_native config i : Gen.prog * Oracle.projected =
   let pseed = iter_seed config i in
   let rng = Rng.create ~seed:pseed in
   let prog = Gen.generate ~shapes:config.c_shapes rng in
@@ -85,44 +88,63 @@ let run_iter config i : iter_out =
   with
   | Oracle.Launch_failed e ->
     failwith (Printf.sprintf "fuzz iter %d: native launch failed (%d)" i e)
-  | Oracle.Ok_run native ->
-    let divs =
-      List.filter_map
-        (fun mech ->
-          let dv =
-            match
-              Oracle.run ~cfg:config.c_world ~max_steps:config.c_max_steps ~mech
-                prog.Gen.items
-            with
-            | Oracle.Launch_failed e ->
-              Some
-                {
-                  Oracle.d_mech = Mech.to_string mech;
-                  d_where = "launch";
-                  d_native = "ok";
-                  d_mech_val = Printf.sprintf "error %d" e;
-                }
-            | Oracle.Ok_run m -> Oracle.compare_projected ~mech native m
-          in
-          Option.map (fun d -> (mech, d)) dv)
-        config.c_mechs
-    in
-    { io_prog = prog; io_divs = divs }
+  | Oracle.Ok_run native -> (prog, native)
 
 (** Run a campaign.  [on_finding] fires as divergences are merged (for
     live CLI output); the report is assembled at the end.  [jobs]
-    shards iterations across a domain pool ({!K23_par.Pool}); the
-    report is byte-identical for every value of [jobs]. *)
+    shards the work across a domain pool ({!K23_par.Pool}) in two
+    phases: phase A generates each program and computes its native
+    projection {e once}; phase B is one compare task per
+    (program × mechanism), claimed in chunks of one iteration's
+    mechanism row.  The old shape — one task per iteration re-running
+    the native column for all seven worlds — wasted 1/7th of the work
+    and made each task as slow as its slowest mechanism.  The report
+    is byte-identical for every value of [jobs] — dune runtest pins
+    [--jobs 1] against [--jobs 4] on the CLI's JSON output. *)
 let run ?(on_finding = fun (_ : finding) -> ()) ?(jobs = 1) config =
-  (* fan-out: one run-spec per iteration, keyed (world cfg, mech, i);
-     "*" because one task covers native plus every mechanism *)
-  let specs =
+  (* phase A: one run-spec per iteration — generate + native column *)
+  let gen_specs =
     List.init config.c_iters (fun i ->
-        K23_par.Run_spec.v ~world:config.c_world ~mech:"*" ~index:i (fun () ->
-            run_iter config i))
+        K23_par.Run_spec.v ~world:config.c_world ~mech:"native" ~index:i (fun () ->
+            gen_native config i))
   in
-  let outs = List.map snd (K23_par.Run_spec.run_all ~jobs specs) in
-  (* sequential merge, in iteration order: counts, findings, shrinking *)
+  let natives = Array.of_list (List.map snd (K23_par.Run_spec.run_all ~jobs gen_specs)) in
+  (* phase B: one run-spec per (iteration × mechanism); [diverges
+     ~native] reuses phase A's projection instead of re-running it *)
+  let mechs = Array.of_list config.c_mechs in
+  let nmechs = Array.length mechs in
+  let cmp_specs =
+    List.concat
+      (List.init config.c_iters (fun i ->
+           let prog, native = natives.(i) in
+           List.map
+             (fun mech ->
+               K23_par.Run_spec.v ~world:config.c_world ~mech:(Mech.to_string mech)
+                 ~index:i (fun () ->
+                   Oracle.diverges ~cfg:config.c_world ~max_steps:config.c_max_steps
+                     ~native ~mech prog.Gen.items))
+             config.c_mechs))
+  in
+  (* chunk = one iteration's mechanism row: a single queue claim per
+     iteration, and consecutive compares share the domain's scratch
+     world while it is cache-hot *)
+  let cmp =
+    Array.of_list
+      (List.map snd (K23_par.Run_spec.run_all ~jobs ~chunk:(max 1 nmechs) cmp_specs))
+  in
+  let outs =
+    List.init config.c_iters (fun i ->
+        let prog, _ = natives.(i) in
+        let divs = ref [] in
+        for j = nmechs - 1 downto 0 do
+          match cmp.((i * nmechs) + j) with
+          | None -> ()
+          | Some d -> divs := (mechs.(j), d) :: !divs
+        done;
+        { io_prog = prog; io_divs = !divs })
+  in
+  (* sequential merge, in (iteration, mechanism) order: counts,
+     findings, shrinking *)
   let findings = ref [] in
   let counts = List.map (fun m -> (m, ref 0)) config.c_mechs in
   List.iteri

@@ -80,10 +80,11 @@ let default_max_steps = 3_000_000
     it is the [k_world] half of every run-spec's key. *)
 let default_world_cfg = { World.Config.default with World.Config.seed = default_world_seed }
 
-(** Run [items] (plus the execve helper) under [mech] in a fresh world
-    built from [cfg]; returns the raw material for projection. *)
-let run_raw ?(cfg = default_world_cfg) ?(max_steps = default_max_steps) ~mech items =
-  let w = Sim.create_world_cfg cfg in
+(* Register the target, run the offline phase if the mechanism needs
+   one, launch and run to completion.  Takes the world as an argument
+   so the fresh-world ({!run_raw}) and scratch-world ({!run}) paths
+   share one setup sequence. *)
+let launch_in w ~max_steps ~mech items =
   ignore (Sim.register_app w ~path:target_path items);
   ignore (Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items);
   if Mech.needs_offline mech then begin
@@ -95,7 +96,23 @@ let run_raw ?(cfg = default_world_cfg) ?(max_steps = default_max_steps) ~mech it
   | Error e -> Error e
   | Ok (p, _stats) ->
     (try World.run_until_exit ~max_steps w p with Kern.Deadlock _ -> ());
-    Ok (w, p, K23_obs.Trace.events t)
+    Ok (p, K23_obs.Trace.events t)
+
+(** Run [items] (plus the execve helper) under [mech] in a fresh world
+    built from [cfg]; returns the raw material for projection.  Always
+    builds a {e fresh} world — the world escapes to the caller, so the
+    scratch-world cache must not recycle it underneath them. *)
+let run_raw ?(cfg = default_world_cfg) ?(max_steps = default_max_steps) ~mech items =
+  let w = Sim.create_world_cfg cfg in
+  match launch_in w ~max_steps ~mech items with
+  | Error e -> Error e
+  | Ok (p, events) -> Ok (w, p, events)
+
+(** Run [f] on a world observably equal to [Sim.create_world_cfg cfg],
+    recycled per domain.  Nothing world-owned may escape [f]; only
+    project inside and return the (immutable) projection. *)
+let with_scratch_world cfg f =
+  K23_par.World_cache.with_world ~build:Sim.create_world_cfg ~reset:Sim.reset_world_cfg cfg f
 
 (* ------------------------------------------------------------------ *)
 (* Projection                                                          *)
@@ -106,9 +123,18 @@ let keep_owner = function
   | "interposer" | "ld.so" | "vdso" -> false
   | _ -> true (* named shared libraries *)
 
-let addr_nrs = [ Sysno.mmap; Sysno.brk ]
-let fd_nrs = [ Sysno.open_; Sysno.openat; Sysno.dup; Sysno.socket; Sysno.accept ]
-let pid_nrs = [ Sysno.fork; Sysno.clone; Sysno.getpid; Sysno.gettid; Sysno.wait4 ]
+(* direct int tests, not [List.mem] over heap lists: [norm_ret] runs
+   once per kept record and the projection is on the campaign's hot
+   path *)
+let is_addr_nr nr = nr = Sysno.mmap || nr = Sysno.brk
+
+let is_fd_nr nr =
+  nr = Sysno.open_ || nr = Sysno.openat || nr = Sysno.dup || nr = Sysno.socket
+  || nr = Sysno.accept
+
+let is_pid_nr nr =
+  nr = Sysno.fork || nr = Sysno.clone || nr = Sysno.getpid || nr = Sysno.gettid
+  || nr = Sysno.wait4
 
 type pend = { pd_nr : int; pd_owner : string; mutable pd_blocked : bool }
 
@@ -159,9 +185,9 @@ let project (p : Kern.proc) (w : Kern.world) events =
   in
   let norm_ret pid nr ret =
     if ret < 0 then string_of_int ret
-    else if List.mem nr addr_nrs then (if ret >= 4096 then "addr" else string_of_int ret)
-    else if List.mem nr fd_nrs then Printf.sprintf "fd%d" (canon_fd pid ret)
-    else if List.mem nr pid_nrs then
+    else if is_addr_nr nr then (if ret >= 4096 then "addr" else string_of_int ret)
+    else if is_fd_nr nr then Printf.sprintf "fd%d" (canon_fd pid ret)
+    else if is_pid_nr nr then
       if ret = 0 then "0" else Printf.sprintf "pid%d" (canon_pid ret)
     else string_of_int ret
   in
@@ -262,10 +288,15 @@ let project (p : Kern.proc) (w : Kern.world) events =
   in
   { streams; fates; console = World.stdout_of p }
 
-let run ?cfg ?max_steps ~mech items =
-  match run_raw ?cfg ?max_steps ~mech items with
-  | Error e -> Launch_failed e
-  | Ok (w, p, events) -> Ok_run (project p w events)
+(** Run under [mech] and project.  Uses the per-domain scratch world:
+    the world is recycled between calls, and only the immutable
+    {!projected} escapes.  Callers that need the raw world use
+    {!run_raw}. *)
+let run ?(cfg = default_world_cfg) ?(max_steps = default_max_steps) ~mech items =
+  with_scratch_world cfg (fun w ->
+      match launch_in w ~max_steps ~mech items with
+      | Error e -> Launch_failed e
+      | Ok (p, events) -> Ok_run (project p w events))
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                          *)
@@ -327,9 +358,19 @@ let compare_projected ~mech (native : projected) (m : projected) : divergence op
       else None)
 
 (** Run [items] natively and under [mech]; [Some divergence] if the
-    application-observable behaviour differs. *)
-let diverges ?cfg ?max_steps ~mech items =
-  match run ?cfg ?max_steps ~mech:Mech.Native items with
+    application-observable behaviour differs.
+
+    [?native] supplies an already-computed native projection (the
+    campaign computes it {e once} per program and shares it across all
+    mechanisms — [projected] is immutable, so sharing it between
+    domains is safe); without it the native column is re-run here. *)
+let diverges ?cfg ?max_steps ?native ~mech items =
+  let native_outcome =
+    match native with
+    | Some n -> Ok_run n
+    | None -> run ?cfg ?max_steps ~mech:Mech.Native items
+  in
+  match native_outcome with
   | Launch_failed e ->
     Some
       {

@@ -36,15 +36,76 @@ let sweep (bytes : Bytes.t) ~base =
   in
   go 0 []
 
+(** Buffer-relative offsets at which the sweep believes a [syscall] or
+    [sysenter] starts.  Exactly the decode walk of {!sweep} — same
+    lengths, same byte-by-byte resynchronisation — but run as a tight
+    loop that materialises nothing per position: the full [item] list
+    costs an allocation per byte on desynchronised data, which made a
+    libc-sized sweep the single hottest call in a zpoline launch.
+    Offsets are base-independent (the sweep never looks at [base]),
+    which is what makes the result cacheable across ASLR slides. *)
+let find_syscall_offsets bytes =
+  let n = Bytes.length bytes in
+  let acc = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    match Decode.decode_bytes bytes !pos with
+    | Ok (insn, len) when !pos + len <= n ->
+      (match insn with
+      | Insn.Syscall | Insn.Sysenter -> acc := !pos :: !acc
+      | _ -> ());
+      pos := !pos + len
+    | Ok _ | Error `Invalid -> incr pos
+  done;
+  List.rev !acc
+
 (** Addresses at which the sweep believes a [syscall] or [sysenter]
     instruction starts.  This is the site list a zpoline-style rewriter
     uses — complete with its false positives and false negatives. *)
-let find_syscall_sites bytes ~base =
-  sweep bytes ~base
-  |> List.filter_map (fun item ->
-         match item.insn with
-         | Some Insn.Syscall | Some Insn.Sysenter -> Some item.addr
-         | Some _ | None -> None)
+let find_syscall_sites bytes ~base = List.map (fun off -> base + off) (find_syscall_offsets bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed sweep memo                                        *)
+
+(* FNV-1a over the buffer: cheap (~0.1 ms on libc-sized text, vs tens
+   of ms for the sweep it keys) and stable across runs. *)
+let content_hash bytes =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Bytes.length bytes - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get bytes i)))) 0x100000001b3L
+  done;
+  !h
+
+(* One memo table per domain (Domain.DLS): rewriters on different
+   domains never share it, so no synchronisation and no cross-domain
+   mutable state (DESIGN.md §4f audit). *)
+let memo_key : (int * int64, Bytes.t * int list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+(* library images in one world: a handful; bound keeps a pathological
+   caller (many distinct JIT buffers) from growing the table forever *)
+let memo_capacity = 64
+
+(** {!find_syscall_sites} with a per-domain content-addressed memo.
+    The sweep is a pure function of the bytes, so a hit (verified by
+    [Bytes.equal], not just the hash) returns the identical site list;
+    rewriters scanning the same library text in run after run — libc
+    is ~200 KiB and never changes — pay the sweep once per domain.
+    Misses (fresh application text, JIT pages) fall through to the
+    plain sweep and are cached in turn. *)
+let find_syscall_sites_memo bytes ~base =
+  let tbl = Domain.DLS.get memo_key in
+  let key = (Bytes.length bytes, content_hash bytes) in
+  let offs =
+    match Hashtbl.find_opt tbl key with
+    | Some (stored, offs) when Bytes.equal stored bytes -> offs
+    | _ ->
+      let offs = find_syscall_offsets bytes in
+      if Hashtbl.length tbl >= memo_capacity then Hashtbl.reset tbl;
+      Hashtbl.replace tbl key (Bytes.copy bytes, offs);
+      offs
+  in
+  List.map (fun off -> base + off) offs
 
 (** Ground truth used by tests: all offsets where the literal 2-byte
     [0f 05]/[0f 34] pattern occurs, regardless of instruction

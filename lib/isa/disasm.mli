@@ -13,9 +13,20 @@ type item = {
 
 val sweep : Bytes.t -> base:int -> item list
 
+val find_syscall_offsets : Bytes.t -> int list
+(** Buffer-relative offsets of the sites {!find_syscall_sites} would
+    report: the same decode walk as {!sweep}, run as an allocation-free
+    loop.  Base-independent, hence cacheable across ASLR slides. *)
+
 val find_syscall_sites : Bytes.t -> base:int -> int list
 (** The site list a zpoline-style rewriter uses — including its false
     positives and false negatives. *)
+
+val find_syscall_sites_memo : Bytes.t -> base:int -> int list
+(** {!find_syscall_sites} through a per-domain content-addressed memo
+    (hash plus [Bytes.equal] verification, so a hit is byte-exact).
+    Identical results; the sweep of an unchanged buffer — library text
+    rescanned by every launch — is paid once per domain. *)
 
 val raw_pattern_sites : Bytes.t -> base:int -> int list
 (** Ground truth for tests: every occurrence of the literal 2-byte

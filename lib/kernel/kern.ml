@@ -173,7 +173,9 @@ and proc = {
 }
 
 and world = {
-  cost : Cost.model;
+  mutable cost : Cost.model;
+      (** immutable in spirit; mutable only so {!World.reset} can
+          replay the per-run skew draw of [create_world] in place *)
   ncores : int;
   icaches : Icache.t array;
   core_cycles : int array;

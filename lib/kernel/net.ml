@@ -106,6 +106,14 @@ type t = {
 let create () =
   { listeners = Hashtbl.create 8; next_conn = 1; bound_ports = Hashtbl.create 16 }
 
+(** Back to the state of a fresh {!create}, in place: no listeners, no
+    bound ports, connection ids restarting from 1 (ids feed normalised
+    projections, so a reused world must replay the same sequence). *)
+let reset t =
+  Hashtbl.reset t.listeners;
+  Hashtbl.reset t.bound_ports;
+  t.next_conn <- 1
+
 let listen t port =
   if Hashtbl.mem t.listeners port then Error `Addrinuse
   else begin

@@ -47,6 +47,11 @@ type t = {
 }
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Empty in place: observationally a fresh {!create}, including the
+    connection-id sequence. *)
+
 val listen : t -> int -> (listener, [ `Addrinuse ]) result
 val connect : t -> int -> (conn, [ `Refused ]) result
 val accept : listener -> conn option

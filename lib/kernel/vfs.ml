@@ -26,6 +26,13 @@ type err = [ `Perm | `Noent | `Notdir | `Isdir | `Inval ]
 
 let create () = { root = { entries = Hashtbl.create 16; dir_immutable = false } }
 
+(** Empty the filesystem in place: equivalent to a fresh {!create}
+    (immutable seals included — a reset world re-seals its own logs).
+    Scratch-world reuse resets rather than reallocates. *)
+let reset t =
+  Hashtbl.reset t.root.entries;
+  t.root.dir_immutable <- false
+
 let split_path path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
 

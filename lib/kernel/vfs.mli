@@ -18,6 +18,11 @@ type t = { root : dir }
 type err = [ `Perm | `Noent | `Notdir | `Isdir | `Inval ]
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Empty the filesystem in place (seals included): observationally a
+    fresh {!create}, reusing the root node. *)
+
 val split_path : string -> string list
 val lookup : t -> string -> node option
 val exists : t -> string -> bool

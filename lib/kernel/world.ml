@@ -57,14 +57,11 @@ module Config = struct
       m.sud_armed_extra m.sigsys_delivery m.sigreturn_extra m.ptrace_stop m.ptrace_mem_op
 end
 
-(** Create a fully wired world from a {!Config.t}: syscall dispatch,
-    execve, the dynamic linker, the vdso and a minimal filesystem
-    skeleton. *)
-let create_cfg (cfg : Config.t) =
-  let w =
-    create_world ~ncores:cfg.ncores ~quantum:cfg.quantum ~seed:cfg.seed ~aslr:cfg.aslr
-      ~cost:cfg.cost ~predecode:cfg.predecode ()
-  in
+(* The wiring shared by {!create_cfg} and {!reset}: dispatch hooks,
+   base images, filesystem skeleton.  Keeping it in one place is what
+   makes "reset ≡ fresh create" an auditable claim rather than two
+   code paths to keep in sync. *)
+let wire (w : world) (cfg : Config.t) =
   w.syscall_impl <- Some Syscalls.dispatch;
   w.execve_impl <- Some Loader.do_execve;
   register_library w (Loader.ldso_image ());
@@ -74,8 +71,64 @@ let create_cfg (cfg : Config.t) =
     [ "/bin"; "/usr/lib"; "/etc"; "/tmp"; "/home/user"; "/k23" ];
   ignore (Vfs.write_file w.vfs "/etc/ld.so.cache" "ld.so cache\n");
   ignore (Vfs.write_file w.vfs "/etc/hostname" "sim\n");
-  if cfg.ktrace then ignore (ktrace_enable w);
+  if cfg.ktrace then ignore (ktrace_enable w)
+
+(** Create a fully wired world from a {!Config.t}: syscall dispatch,
+    execve, the dynamic linker, the vdso and a minimal filesystem
+    skeleton. *)
+let create_cfg (cfg : Config.t) =
+  let w =
+    create_world ~ncores:cfg.ncores ~quantum:cfg.quantum ~seed:cfg.seed ~aslr:cfg.aslr
+      ~cost:cfg.cost ~predecode:cfg.predecode ()
+  in
+  wire w cfg;
   w
+
+(** Rebuild [w] in place to the exact observable state of
+    [create_cfg cfg] — the scratch-world path of the domain pool
+    ({!K23_par}): a reused world skips allocating the big structures
+    (cores, I-caches, tables) that a fresh build would recreate.
+
+    The invariants (test_par.ml pins them; DESIGN.md §4g):
+    - the RNG is rewound and the per-run cost skew re-drawn, so the
+      ASLR/jitter stream replays bit-for-bit;
+    - every id sequence (pid, tid, connection id, steps) restarts;
+    - the VFS (offline logs and their seals included), the network,
+      the library table, the ktrace sink, SUD history and per-core
+      state (cycles, residency, I-cache contents, predecode memos) are
+      emptied exactly as a fresh world starts;
+    - the world's {e structural} parameters ([ncores], [quantum])
+      cannot change in place — a config differing there must rebuild
+      ([Invalid_argument]). *)
+let reset (w : world) (cfg : Config.t) =
+  if cfg.ncores <> w.ncores || cfg.quantum <> w.quantum then
+    invalid_arg "World.reset: ncores/quantum differ from the world being reset";
+  Rng.reseed w.rng ~seed:cfg.seed;
+  (* same draw order as create_world: skew first *)
+  w.cost <- { cfg.cost with K23_machine.Cost.syscall_base = cfg.cost.K23_machine.Cost.syscall_base + Rng.int w.rng 3 - 1 };
+  Array.fill w.core_cycles 0 w.ncores 0;
+  Array.fill w.core_resident 0 w.ncores (-1);
+  Array.iter
+    (fun ic ->
+      K23_machine.Icache.flush ic;
+      K23_machine.Icache.set_predecode ic cfg.predecode)
+    w.icaches;
+  w.procs <- [];
+  w.next_pid <- 1;
+  w.next_tid <- 1;
+  w.next_core <- 0;
+  Vfs.reset w.vfs;
+  Net.reset w.net;
+  Hashtbl.reset w.libraries;
+  w.syscall_impl <- None;
+  w.execve_impl <- None;
+  w.steps <- 0;
+  w.trace <- false;
+  w.aslr <- cfg.aslr;
+  w.sud_ever_armed <- false;
+  w.ktrace <- None;
+  Array.fill w.ktrace_last_tid 0 w.ncores (-1);
+  wire w cfg
 
 (** Legacy constructor, kept as a thin wrapper over {!create_cfg}. *)
 let create ?ncores ?quantum ?seed ?aslr ?cost () =

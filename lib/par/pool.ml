@@ -34,25 +34,42 @@ let default_jobs () = Domain.recommended_domain_count ()
 (** [map ~jobs f tasks] applies [f] to every task, running up to
     [jobs] at a time, and returns the results in input order.
     Re-raises the lowest-indexed task exception, after every domain
-    has been joined. *)
-let map ~jobs (f : 'a -> 'b) (tasks : 'a list) : 'b list =
+    has been joined.
+
+    [chunk] (default 1) batches queue claims: each
+    [Atomic.fetch_and_add] hands a worker the index range
+    [\[i, i+chunk)], cutting contention on the shared counter when
+    tasks are small (the per-mechanism compare specs of a fuzz
+    campaign).  Chunking never affects results — only which domain
+    runs which task.  [jobs] is clamped to the number of {e chunks},
+    not tasks, so a short list never spawns domains that would exit
+    without claiming work. *)
+let map ~jobs ?(chunk = 1) (f : 'a -> 'b) (tasks : 'a list) : 'b list =
+  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
   let arr = Array.of_list tasks in
   let n = Array.length arr in
-  let jobs = max 1 (min jobs n) in
+  let nchunks = (n + chunk - 1) / chunk in
+  let jobs = max 1 (min jobs nchunks) in
   if jobs <= 1 then List.map f tasks
   else begin
     let results : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r =
-            match f arr.(i) with
-            | v -> Ok v
-            | exception e -> Error (e, Printexc.get_raw_backtrace ())
-          in
-          results.(i) <- Some r;
+        let base = Atomic.fetch_and_add next chunk in
+        if base < n then begin
+          let hi = min n (base + chunk) in
+          (* one backtrace capture point per chunk: [f] runs inside the
+             match so [get_raw_backtrace] reads the raising task's
+             trace, not a stale one from a previous iteration *)
+          for i = base to hi - 1 do
+            let r =
+              match f arr.(i) with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- Some r
+          done;
           loop ()
         end
       in
@@ -71,4 +88,5 @@ let map ~jobs (f : 'a -> 'b) (tasks : 'a list) : 'b list =
   end
 
 (** [mapi] with the task index, same ordering/exception contract. *)
-let mapi ~jobs f tasks = map ~jobs (fun (i, t) -> f i t) (List.mapi (fun i t -> (i, t)) tasks)
+let mapi ~jobs ?chunk f tasks =
+  map ~jobs ?chunk (fun (i, t) -> f i t) (List.mapi (fun i t -> (i, t)) tasks)

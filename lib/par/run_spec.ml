@@ -37,7 +37,7 @@ type 'a t = {
 let v ~world ~mech ~index run = { key = { k_world = world; k_mech = mech; k_index = index }; run }
 
 (** Execute the specs on the pool; results are paired with their keys,
-    in submission order (see {!Pool.map} for the determinism and
-    exception contract). *)
-let run_all ~jobs (specs : 'a t list) : (key * 'a) list =
-  Pool.map ~jobs (fun spec -> (spec.key, spec.run ())) specs
+    in submission order (see {!Pool.map} for the determinism, chunking
+    and exception contract). *)
+let run_all ~jobs ?chunk (specs : 'a t list) : (key * 'a) list =
+  Pool.map ~jobs ?chunk (fun spec -> (spec.key, spec.run ())) specs

@@ -3,15 +3,28 @@
 
 open K23_kernel
 
+(* Userland registration on top of the kernel wiring — shared verbatim
+   by the fresh-create and in-place-reset paths. *)
+let populate w =
+  Kern.register_library w (Libc.image ());
+  List.iter (Kern.register_library w) (Stdlibs.all ());
+  ignore (Vfs.write_file w.vfs "/usr/lib/locale/locale-archive" (String.make 1024 'L'))
+
 (** A wired world with libc, the stub libraries, and the files the
     startup sequence touches, built from a {!World.Config.t} — the
     run-spec form used by the domain pool ({!K23_par}). *)
 let create_world_cfg cfg =
   let w = World.create_cfg cfg in
-  Kern.register_library w (Libc.image ());
-  List.iter (Kern.register_library w) (Stdlibs.all ());
-  ignore (Vfs.write_file w.vfs "/usr/lib/locale/locale-archive" (String.make 1024 'L'));
+  populate w;
   w
+
+(** In-place counterpart of {!create_world_cfg}: {!World.reset} plus
+    the same userland registration.  The scratch-world cache
+    ({!K23_par.World_cache}) uses this to recycle a dirty world into
+    the exact observable state of a fresh one. *)
+let reset_world_cfg w cfg =
+  World.reset w cfg;
+  populate w
 
 (** Legacy optional-argument constructor (thin wrapper). *)
 let create_world ?ncores ?quantum ?seed ?aslr ?cost ?ktrace ?predecode () =

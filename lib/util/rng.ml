@@ -8,6 +8,12 @@ type t = { mutable state : int64 }
 
 let create ~seed = { state = Int64.of_int seed }
 
+(** [reseed t ~seed] rewinds [t] to exactly the state of
+    [create ~seed]: the subsequent draw sequence is bit-identical.
+    This is what lets a scratch world be reset in place instead of
+    rebuilt — the world RNG must replay the same ASLR/jitter stream. *)
+let reseed t ~seed = t.state <- Int64.of_int seed
+
 let golden = 0x9E3779B97F4A7C15L
 
 (* SplitMix64 step: well-distributed 64-bit outputs from a 64-bit counter. *)

@@ -5,6 +5,11 @@
 type t
 
 val create : seed:int -> t
+
+val reseed : t -> seed:int -> unit
+(** Rewind to exactly the state of [create ~seed]; the subsequent draw
+    sequence is bit-identical (world reset relies on this). *)
+
 val next_int64 : t -> int64
 
 val int : t -> int -> int

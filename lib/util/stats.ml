@@ -40,6 +40,17 @@ let geomean xs =
     let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
     exp (logsum /. float_of_int (List.length xs))
 
+(** Median (lower of the two middle elements for even lengths, so the
+    result is always an actual sample).  Rejects nan like
+    {!drop_outliers}: ordering is meaningless with nan present. *)
+let median xs =
+  match xs with
+  | [] -> invalid_arg "Stats.median: empty"
+  | _ ->
+    List.iter (fun x -> if Float.is_nan x then invalid_arg "Stats.median: nan sample") xs;
+    let sorted = List.sort Float.compare xs in
+    List.nth sorted ((List.length sorted - 1) / 2)
+
 (** Drop one minimum and one maximum element (the paper's outlier rule).
     Lists shorter than 3 are returned unchanged. *)
 let drop_outliers xs =

@@ -10,6 +10,11 @@ val geomean : float list -> float
     any non-finite or non-positive sample (whose log would silently
     poison the result with nan). *)
 
+val median : float list -> float
+(** Median; even lengths return the lower middle element, so the
+    result is always an actual sample.  Raises [Invalid_argument] on
+    an empty list or any nan sample. *)
+
 val drop_outliers : float list -> float list
 (** Drop one minimum and one maximum; lists shorter than 3 are
     returned unchanged.  Raises [Invalid_argument] if any sample is
