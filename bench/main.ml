@@ -68,6 +68,23 @@ let table6 ~runs ~jobs () =
     "\npaper geomeans: zpoline-default 98.93 | zpoline-ultra 98.27 | lazypoline 98.26\n\
      \                K23-default 98.62 | K23-ultra 97.96 | K23-ultra+ 97.90 | SUD 56.70\n"
 
+(* Open-loop latency campaign: p50/p99/p999 per mechanism (plus the
+   mixed per-tenant row) from seeded Poisson arrivals, latency in
+   simulated cycles via the kernel's request stamps.  [--json <path>]
+   (or bare [--json] for BENCH_load.json) writes the machine-readable
+   record; deterministic per seed and byte-identical at any --jobs. *)
+let table6_load ~quick ~jobs ?json () =
+  section "table6-load - open-loop latency campaign (p50/p99/p999 per mechanism)";
+  let rep = Load.campaign ~quick ~jobs () in
+  print_string (Load.render rep);
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Load.render_json rep);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let startup () =
   section "E7 - startup window (syscalls before the preload library initialises)";
   print_string (Startup_bench.render (Startup_bench.run ()));
@@ -271,15 +288,16 @@ let () =
   in
   let json, args =
     let rec go acc = function
-      | [ "--json" ] ->
-        prerr_endline "--json requires a path (e.g. --json BENCH_simperf.json)";
-        exit 2
+      (* bare trailing --json: each experiment picks its default
+         artifact name (BENCH_load.json, BENCH_simperf.json, ...) *)
+      | [ "--json" ] -> (Some "", List.rev acc)
       | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
       | x :: rest -> go (x :: acc) rest
       | [] -> (None, List.rev acc)
     in
     go [] args
   in
+  let json_or default = match json with Some "" -> Some default | v -> v in
   let jobs, args =
     let rec go acc = function
       | [ "--jobs" ] ->
@@ -318,9 +336,13 @@ let () =
       | "ablation" -> ablation ()
       | "seccomp" -> seccomp ()
       | "arm" -> arm ()
-      | "simperf" -> simperf ~quick ?json ()
+      | "simperf" -> simperf ~quick ?json:(json_or "BENCH_simperf.json") ()
       | "ktrace" -> ktrace ~quick ()
       | "fuzz" -> fuzz ~quick ~jobs ()
-      | "parfuzz" -> parfuzz ~quick ~repeat ~check ~jobs ?json ()
+      | "parfuzz" -> parfuzz ~quick ~repeat ~check ~jobs ?json:(json_or "BENCH_parfuzz.json") ()
+      | "table6-load" ->
+        table6_load ~quick
+          ~jobs:(Option.value jobs ~default:1)
+          ?json:(json_or "BENCH_load.json") ()
       | other -> Printf.eprintf "unknown experiment %S\n" other)
     experiments

@@ -95,6 +95,7 @@ let client_for spec ~rounds =
         rounds;
         req_cost = 300;
         resp_len = Apps.Webserver.header_len + cfg.file_size;
+        arrival = Apps.Wrk.Closed;
       }
   | Redis cfg ->
     Some
@@ -107,6 +108,7 @@ let client_for spec ~rounds =
         rounds;
         req_cost = 12_500;
         resp_len = 64;
+        arrival = Apps.Wrk.Closed;
       }
   | Sqlite _ -> None
 

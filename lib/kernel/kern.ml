@@ -86,7 +86,7 @@ and sigframe = {
 
 and tstate =
   | Runnable
-  | Blocked of { why : string; ready : unit -> bool }
+  | Blocked of { why : string; ready : unit -> bool; deadline : int option }
   | Dead
 
 and thread = {
@@ -203,9 +203,13 @@ and world = {
   ktrace_last_tid : int array;  (** per-core last-run tid, for sched-switch events *)
 }
 
-exception Would_block of { why : string; ready : unit -> bool }
+exception Would_block of { why : string; ready : unit -> bool; deadline : int option }
 (** Raised by syscall implementations that must wait; the scheduler
-    parks the thread and retries when [ready ()] turns true. *)
+    parks the thread and retries when [ready ()] turns true.
+    [deadline] is the cycle at which a timed wait (nanosleep) fires on
+    its own: when every thread is blocked, the scheduler jumps virtual
+    time straight to the earliest deadline instead of declaring
+    deadlock.  [None] for waits that only external events satisfy. *)
 
 exception Kernel_panic of string
 
@@ -499,6 +503,41 @@ let sync_cores (w : world) =
 let cycles_per_sec = 3_200_000_000
 
 (* ------------------------------------------------------------------ *)
+(* Request latency stamps                                              *)
+
+(* Load generators stamp request boundaries in *global* simulated time
+   ([now w], not the issuing core's counter): a latency sample must be
+   comparable against the open-loop arrival schedule, which is itself
+   global — a core-local stamp would stand still while the thread sat
+   blocked in [read] and hide exactly the queueing delay the campaign
+   exists to measure.  Both hooks return the stamp so the caller
+   records the same value the event stream shows. *)
+
+(** Request [req] was written to connection fd [conn]; [sched] is the
+    arrival process' intended send time (= the stamp itself for
+    closed-loop or un-backlogged sends). *)
+let note_req_send (w : world) (th : thread) ~conn ~req ~sched =
+  let stamp = now w in
+  ktrace_count w th.t_proc "req.send";
+  (match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Trace.emit t ~cycles:stamp ~pid:th.t_proc.pid ~tid:th.tid
+      (K23_obs.Event.Req_send { conn; req; sched }));
+  stamp
+
+(** The matching response was fully received (framing complete). *)
+let note_req_recv (w : world) (th : thread) ~conn ~req =
+  let stamp = now w in
+  ktrace_count w th.t_proc "req.recv";
+  (match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Trace.emit t ~cycles:stamp ~pid:th.t_proc.pid ~tid:th.tid
+      (K23_obs.Event.Req_recv { conn; req }));
+  stamp
+
+(* ------------------------------------------------------------------ *)
 (* Process exit / signals                                              *)
 
 (** On process death the kernel releases its descriptors: connections
@@ -704,8 +743,8 @@ let finish_syscall (w : world) (th : thread) ~nr ~args =
       | None -> ())
     | _ -> ());
     true
-  | exception Would_block { why; ready } ->
-    th.state <- Blocked { why; ready };
+  | exception Would_block { why; ready; deadline } ->
+    th.state <- Blocked { why; ready; deadline };
     th.pending <- Some (nr, args);
     false
 
@@ -945,8 +984,20 @@ let run ?(max_steps = 200_000_000) ?(until = fun () -> false) (w : world) =
       if blocked = [] then continue_ := false
       else begin
         (* everything is waiting: advance virtual time so time-based
-           waits can fire; if nothing wakes, the world is deadlocked *)
-        let t = now w + 10_000 in
+           waits can fire — straight to the earliest timed-wait
+           deadline when one exists (an open-loop client sleeping out
+           a long inter-arrival gap must not read as a deadlock), one
+           bump otherwise; if nothing wakes, the world is deadlocked *)
+        let deadlines =
+          List.filter_map
+            (fun th -> match th.state with Blocked { deadline; _ } -> deadline | _ -> None)
+            blocked
+        in
+        let t =
+          match deadlines with
+          | [] -> now w + 10_000
+          | ds -> List.fold_left min max_int ds
+        in
         Array.iteri (fun i _ -> w.core_cycles.(i) <- max w.core_cycles.(i) t) w.core_cycles;
         wake_ready w;
         if runnable_threads w = [] then

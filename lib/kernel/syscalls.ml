@@ -88,7 +88,8 @@ let do_read (w : world) (th : thread) fd buf count =
         raise
           (Would_block
              { why = Printf.sprintf "read(conn %d)" c.conn_id;
-               ready = (fun () -> Net.Byteq.length q > 0 || Net.peer_closed c ep) })
+               ready = (fun () -> Net.Byteq.length q > 0 || Net.peer_closed c ep);
+               deadline = None })
     else begin
       let b = Net.Byteq.pop q count in
       (try
@@ -99,7 +100,9 @@ let do_read (w : world) (th : thread) fd buf count =
     end
   | Some (Fd_pipe_r q) ->
     if Net.Byteq.length q = 0 then
-      raise (Would_block { why = "read(pipe)"; ready = (fun () -> Net.Byteq.length q > 0) })
+      raise
+        (Would_block
+           { why = "read(pipe)"; ready = (fun () -> Net.Byteq.length q > 0); deadline = None })
     else
       let b = Net.Byteq.pop q count in
       (try
@@ -332,7 +335,7 @@ let do_wait4 (w : world) (th : thread) ~pid_sel ~status_ptr =
     if p.children = [] then Errno.ret Errno.echild
     else
       raise
-        (Would_block { why = "wait4"; ready = (fun () -> candidates () <> []) })
+        (Would_block { why = "wait4"; ready = (fun () -> candidates () <> []); deadline = None })
   | c :: _ ->
     charge w th 300;
     c.reaped <- true;
@@ -469,8 +472,20 @@ let dispatch (ctx : ctx) ~nr ~args : int =
     | None -> Errno.ret Errno.ebadf)
   | n when n = Sysno.sched_yield -> 0
   | n when n = Sysno.nanosleep ->
-    let deadline = now w + args.(0) in
-    raise (Would_block { why = "nanosleep"; ready = (fun () -> now w >= deadline) })
+    (* arg0 is the duration in cycles.  The absolute deadline must
+       survive the block/retry cycle — the scheduler re-dispatches a
+       woken syscall with the same args array, and recomputing
+       [now + duration] there would re-arm the sleep forever — so the
+       first dispatch stashes it in args.(1) (the rem-pointer slot,
+       unused by this model; 0 from all in-tree callers). *)
+    let deadline = if args.(1) <> 0 then args.(1) else now w + args.(0) in
+    if now w >= deadline then 0
+    else begin
+      args.(1) <- deadline;
+      raise
+        (Would_block
+           { why = "nanosleep"; ready = (fun () -> now w >= deadline); deadline = Some deadline })
+    end
   | n when n = Sysno.getpid -> p.pid
   | n when n = Sysno.gettid -> th.tid
   | n when n = Sysno.socket ->
@@ -505,6 +520,7 @@ let dispatch (ctx : ctx) ~nr ~args : int =
              {
                why = Printf.sprintf "accept(:%d)" l.port;
                ready = (fun () -> Net.backlog_length l > 0);
+               deadline = None;
              }))
     | _ -> Errno.ret Errno.ebadf)
   | n when n = Sysno.connect -> (

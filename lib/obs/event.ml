@@ -28,6 +28,15 @@ type payload =
   | Exec of { path : string }  (** execve committed; per-proc counters reset *)
   | Vdso_call of { sym : string }  (** user-space fast path, no kernel entry *)
   | Sched_switch of { core : int }  (** a different thread started on [core] *)
+  | Req_send of { conn : int; req : int; sched : int }
+      (** load-generator request [req] written to connection fd [conn];
+          [sched] is the open-loop arrival process' scheduled send time
+          in cycles (equal to the emission stamp minus any client-side
+          backlog), so latency read from the event stream can include
+          coordinated-omission delay *)
+  | Req_recv of { conn : int; req : int }
+      (** the matching response fully received (framed read complete);
+          latency = this event's cycle stamp - the pair's [sched] *)
   | Annot of string  (** free-form tag (mechanism launches use "mech:...") *)
 
 type t = {
@@ -56,6 +65,8 @@ let kind = function
   | Exec _ -> "exec"
   | Vdso_call _ -> "vdso_call"
   | Sched_switch _ -> "sched_switch"
+  | Req_send _ -> "req_send"
+  | Req_recv _ -> "req_recv"
   | Annot _ -> "annot"
 
 (** Structural equality (int arrays compared element-wise). *)

@@ -44,6 +44,9 @@ let human_payload ?(namer = default_namer) ~pid ~tid payload =
   | Exec { path } -> Printf.sprintf "[pid %d tid %d] exec %s" pid tid path
   | Vdso_call { sym } -> Printf.sprintf "[pid %d tid %d] vdso %s" pid tid sym
   | Sched_switch { core } -> Printf.sprintf "[core %d] switch -> pid %d tid %d" core pid tid
+  | Req_send { conn; req; sched } ->
+    Printf.sprintf "[pid %d tid %d] req %d -> fd %d (sched %d)" pid tid req conn sched
+  | Req_recv { conn; req } -> Printf.sprintf "[pid %d tid %d] req %d <- fd %d" pid tid req conn
   | Annot s -> Printf.sprintf "# %s" s
 
 let human_event ?namer (e : t) =
@@ -99,6 +102,9 @@ let json_fields ?(namer = default_namer) payload =
   | Exec { path } -> [ kv_str "path" path ]
   | Vdso_call { sym } -> [ kv_str "sym" sym ]
   | Sched_switch { core } -> [ kv_int "core" core ]
+  | Req_send { conn; req; sched } ->
+    [ kv_int "conn" conn; kv_int "req" req; kv_int "sched" sched ]
+  | Req_recv { conn; req } -> [ kv_int "conn" conn; kv_int "req" req ]
   | Annot s -> [ kv_str "text" s ]
 
 let json_event ?namer (e : t) =

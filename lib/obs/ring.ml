@@ -42,7 +42,18 @@ let to_list r =
       | Some x -> x
       | None -> invalid_arg "Ring.to_list: corrupt ring")
 
-(** Oldest-first fold without materialising a list. *)
-let fold f acc r = List.fold_left f acc (to_list r)
+(** Oldest-first fold without materialising a list: walks the circular
+    array in place (once per-request latency events run through the
+    ring at campaign scale, a [to_list] per fold would allocate the
+    whole window on every summary pass). *)
+let fold f acc r =
+  let start = (r.next - r.len + r.cap) mod r.cap in
+  let acc = ref acc in
+  for i = 0 to r.len - 1 do
+    match r.buf.((start + i) mod r.cap) with
+    | Some x -> acc := f !acc x
+    | None -> invalid_arg "Ring.fold: corrupt ring"
+  done;
+  !acc
 
-let iter f r = List.iter f (to_list r)
+let iter f r = fold (fun () x -> f x) () r

@@ -51,6 +51,109 @@ let median xs =
     let sorted = List.sort Float.compare xs in
     List.nth sorted ((List.length sorted - 1) / 2)
 
+(** Nearest-rank percentile on the raw samples: [percentile p xs] is
+    the smallest sample such that at least [p]% of the samples are <=
+    it.  [p] must lie in [0, 100]; p0 is the minimum, p100 the
+    maximum, and the result is always an actual sample (p50 agrees
+    with {!median}).  Rejects nan like {!median}: ordering is
+    meaningless with nan present. *)
+let percentile p xs =
+  if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+    invalid_arg (Printf.sprintf "Stats.percentile: p %g outside [0,100]" p);
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+    List.iter
+      (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: nan sample")
+      xs;
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+(** Log-bucketed histogram over non-negative integer samples (latency
+    in cycles).  HdrHistogram's log-linear layout: 16 linear
+    sub-buckets per power-of-two decade, so the bucket containing a
+    value is never wider than 1/16 (6.25%) of the value — percentile
+    reads off the histogram stay within that relative error while the
+    whole structure is one fixed 1040-slot int array, whatever the
+    latency range.  Exact values below 16 get unit-width buckets. *)
+module Hist = struct
+  let sub_bits = 4
+  let sub = 1 lsl sub_bits (* 16 sub-buckets per decade *)
+
+  (* decades for values up to max_int (62 value bits) plus the linear
+     prefix: index space is fixed and small *)
+  let nslots = sub + (sub * (63 - sub_bits))
+
+  type t = { counts : int array; mutable total : int; mutable sum : int }
+
+  let create () = { counts = Array.make nslots 0; total = 0; sum = 0 }
+
+  let index v =
+    if v < sub then v
+    else begin
+      (* msb = floor log2 v >= sub_bits *)
+      let msb = ref sub_bits in
+      while v lsr (!msb + 1) > 0 do
+        incr msb
+      done;
+      let exp = !msb - sub_bits in
+      (* top [sub_bits+1] bits of v, minus the implicit leading one *)
+      sub * exp + (v lsr exp)
+    end
+
+  (** Bucket [i] covers cycles [lo, hi). *)
+  let bounds i =
+    if i < sub then (i, i + 1)
+    else begin
+      let exp = (i / sub) - 1 in
+      let lo = (i - (sub * exp)) lsl exp in
+      (lo, lo + (1 lsl exp))
+    end
+
+  let add t v =
+    let v = max 0 v in
+    t.counts.(index v) <- t.counts.(index v) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum + v
+
+  let total t = t.total
+  let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+  (** Non-empty buckets, ascending: [(lo, hi, count); ...]. *)
+  let buckets t =
+    let out = ref [] in
+    for i = nslots - 1 downto 0 do
+      if t.counts.(i) > 0 then begin
+        let lo, hi = bounds i in
+        out := (lo, hi, t.counts.(i)) :: !out
+      end
+    done;
+    !out
+
+  (** Approximate percentile read off the buckets: the exclusive upper
+      bound of the first bucket at which the cumulative count reaches
+      [p]% of the total (<= 6.25% relative error by construction).
+      Same [p] domain contract as {!percentile}. *)
+  let percentile t p =
+    if not (Float.is_finite p) || p < 0.0 || p > 100.0 then
+      invalid_arg (Printf.sprintf "Stats.Hist.percentile: p %g outside [0,100]" p);
+    if t.total = 0 then invalid_arg "Stats.Hist.percentile: empty";
+    let need = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+    let need = max 1 need in
+    let seen = ref 0 and i = ref 0 and result = ref 0 in
+    while !seen < need && !i < nslots do
+      if t.counts.(!i) > 0 then begin
+        seen := !seen + t.counts.(!i);
+        result := snd (bounds !i)
+      end;
+      incr i
+    done;
+    !result
+end
+
 (** Drop one minimum and one maximum element (the paper's outlier rule).
     Lists shorter than 3 are returned unchanged. *)
 let drop_outliers xs =

@@ -15,6 +15,38 @@ val median : float list -> float
     result is always an actual sample.  Raises [Invalid_argument] on
     an empty list or any nan sample. *)
 
+val percentile : float -> float list -> float
+(** [percentile p xs] is the nearest-rank percentile: the smallest
+    sample such that at least [p]% of the samples are <= it.  The
+    result is always an actual sample; [percentile 0.] is the minimum,
+    [percentile 100.] the maximum, and [percentile 50.] agrees with
+    {!median}.  Raises [Invalid_argument] on an empty list, any nan
+    sample, or [p] outside [0, 100]. *)
+
+(** Log-bucketed histogram over non-negative integer samples (latency
+    in cycles): HdrHistogram's log-linear layout with 16 linear
+    sub-buckets per power-of-two decade, so any bucket is at most
+    6.25% of its value wide.  Fixed-size (no allocation per sample);
+    negative samples are clamped to 0. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val total : t -> int
+  val mean : t -> float
+
+  val buckets : t -> (int * int * int) list
+  (** Non-empty buckets, ascending: [(lo, hi, count)] with the bucket
+      covering cycles [lo, hi). *)
+
+  val percentile : t -> float -> int
+  (** Upper bound of the first bucket at which the cumulative count
+      reaches [p]% of the total (<= 6.25% relative error).  Raises
+      [Invalid_argument] on an empty histogram or [p] outside
+      [0, 100]. *)
+end
+
 val drop_outliers : float list -> float list
 (** Drop one minimum and one maximum; lists shorter than 3 are
     returned unchanged.  Raises [Invalid_argument] if any sample is

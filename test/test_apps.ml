@@ -60,6 +60,156 @@ let expect_all_requests spec () =
   Alcotest.(check int) "all requests answered" expected results.Apps.Wrk.completed;
   Alcotest.(check int) "no errors" 0 results.errors
 
+(* --- wrk fd discipline and framing ---------------------------------- *)
+
+(* Start the client with no server listening: every connect is refused.
+   The client must close the refused socket before retrying — before
+   the fix it leaked one fd per attempt, so a slow-starting server made
+   the client's fd table grow without bound. *)
+let test_connect_retry_no_fd_leak () =
+  let w = Sim.create_world ~quantum:8 () in
+  let spec = K23_eval.Macro.nginx ~workers:1 ~kb:0 in
+  let path, port = K23_eval.Macro.register_workload w spec in
+  let client = Option.get (K23_eval.Macro.client_for spec ~rounds:2) in
+  let results = Apps.Wrk.register w client in
+  let cp =
+    match World.spawn w ~path:client.Apps.Wrk.path () with
+    | Error e -> Alcotest.failf "client spawn: %d" e
+    | Ok p -> p
+  in
+  Kern.run ~max_steps:5_000_000 ~until:(fun () -> results.Apps.Wrk.errors >= 25) w;
+  Alcotest.(check bool) "connect retries happened" true (results.errors >= 25);
+  let fds = Hashtbl.length cp.Kern.fds in
+  Alcotest.(check bool)
+    (Printf.sprintf "fd table bounded during retries (%d fds after %d refusals)" fds
+       results.errors)
+    true (fds <= 4);
+  (* bring the server up: the same client must then complete every request *)
+  (match World.spawn w ~path () with
+  | Error e -> Alcotest.failf "server spawn: %d" e
+  | Ok _ -> ());
+  K23_eval.Macro.wait_for_listener w port;
+  Kern.run ~max_steps:50_000_000 ~until:(fun () -> Kern.proc_dead cp) w;
+  K23_eval.Macro.kill_everything w;
+  let expected = client.Apps.Wrk.threads * client.conns * client.depth * client.rounds in
+  Alcotest.(check int) "all requests answered after recovery" expected results.completed
+
+(* A deliberately dribbling server: its 64-byte response arrives in four
+   16-byte chunks with a nanosleep between each, so the client's reads
+   come up short.  The framed receive loop must count one completed
+   request per full response — the pre-fix code counted one per read,
+   so it would report 4x the real completions here and desynchronize. *)
+let dribble_port = 9099
+let dribble_path = "/usr/sbin/dribbled"
+
+let register_dribble_server w =
+  let open K23_isa in
+  let chunk = 16 in
+  ignore
+    (Sim.register_app w ~path:dribble_path
+       [
+         Asm.Label "main";
+         Asm.I (Insn.Mov_ri (RDI, 2));
+         Asm.I (Insn.Mov_ri (RSI, 1));
+         Asm.I (Insn.Mov_ri (RDX, 0));
+         Asm.Call_sym "socket";
+         Asm.I (Insn.Mov_rr (RBX, RAX));
+         Asm.I (Insn.Mov_rr (RDI, RBX));
+         Asm.I (Insn.Mov_ri (RSI, dribble_port));
+         Asm.Call_sym "bind";
+         Asm.I (Insn.Mov_rr (RDI, RBX));
+         Asm.I (Insn.Mov_ri (RSI, 16));
+         Asm.Call_sym "listen";
+         Asm.Label "accept_loop";
+         Asm.I (Insn.Mov_rr (RDI, RBX));
+         Asm.Call_sym "accept";
+         Asm.I (Insn.Mov_rr (R14, RAX));
+         Asm.Label "conn_loop";
+         Asm.I (Insn.Mov_rr (RDI, R14));
+         Asm.Mov_sym (RSI, "dbuf");
+         Asm.I (Insn.Mov_ri (RDX, 64));
+         Asm.Call_sym "read";
+         Asm.I (Insn.Cmp_ri (RAX, 0));
+         Asm.Jc (Insn.LE, "close_conn");
+         Asm.I (Insn.Mov_ri (R15, 4));
+         Asm.Label "chunk_loop";
+         Asm.I (Insn.Mov_rr (RDI, R14));
+         Asm.Mov_sym (RSI, "dresp");
+         Asm.I (Insn.Mov_ri (RDX, chunk));
+         Asm.Call_sym "write";
+         (* stall before the next chunk so the client sees a short read;
+            rem pointer explicitly NULL, as the kernel requires *)
+         Asm.I (Insn.Mov_ri (RDI, 5_000));
+         Asm.I (Insn.Mov_ri (RSI, 0));
+         Asm.Call_sym "nanosleep";
+         Asm.I (Insn.Sub_ri (R15, 1));
+         Asm.I (Insn.Cmp_ri (R15, 0));
+         Asm.Jc (Insn.NZ, "chunk_loop");
+         Asm.J "conn_loop";
+         Asm.Label "close_conn";
+         Asm.I (Insn.Mov_rr (RDI, R14));
+         Asm.Call_sym "close";
+         Asm.J "accept_loop";
+         Asm.Section `Data;
+         Asm.Label "dbuf";
+         Asm.Zeros 128;
+         Asm.Label "dresp";
+         Asm.Blob (Bytes.make chunk 'D');
+       ])
+
+let test_dribbling_server_framing () =
+  let w = Sim.create_world ~quantum:8 () in
+  register_dribble_server w;
+  (match World.spawn w ~path:dribble_path () with
+  | Error e -> Alcotest.failf "server spawn: %d" e
+  | Ok _ -> ());
+  K23_eval.Macro.wait_for_listener w dribble_port;
+  Kern.sync_cores w;
+  let client =
+    {
+      Apps.Wrk.path = "/usr/bin/wrk";
+      port = dribble_port;
+      threads = 1;
+      conns = 1;
+      depth = 1;
+      rounds = 4;
+      req_cost = 300;
+      resp_len = 64;
+      arrival = Apps.Wrk.Closed;
+    }
+  in
+  let results = Apps.Wrk.register w client in
+  (match World.spawn w ~path:client.Apps.Wrk.path () with
+  | Error e -> Alcotest.failf "client spawn: %d" e
+  | Ok cp -> Kern.run ~max_steps:50_000_000 ~until:(fun () -> Kern.proc_dead cp) w);
+  K23_eval.Macro.kill_everything w;
+  Alcotest.(check int) "one completion per full response" 4 results.Apps.Wrk.completed;
+  Alcotest.(check int) "no errors" 0 results.errors
+
+(* rounds = 0 means "no requests": the client must close its connection
+   and exit cleanly instead of pushing a request through the pipeline *)
+let test_rounds_zero_clean_exit () =
+  let w = Sim.create_world ~quantum:8 () in
+  let spec = K23_eval.Macro.nginx ~workers:1 ~kb:0 in
+  let path, port = K23_eval.Macro.register_workload w spec in
+  (match World.spawn w ~path () with
+  | Error e -> Alcotest.failf "server spawn: %d" e
+  | Ok _ -> ());
+  K23_eval.Macro.wait_for_listener w port;
+  Kern.sync_cores w;
+  let client = Option.get (K23_eval.Macro.client_for spec ~rounds:0) in
+  let results = Apps.Wrk.register w client in
+  let cp =
+    match World.spawn w ~path:client.Apps.Wrk.path () with
+    | Error e -> Alcotest.failf "client spawn: %d" e
+    | Ok p -> p
+  in
+  Kern.run ~max_steps:50_000_000 ~until:(fun () -> Kern.proc_dead cp) w;
+  K23_eval.Macro.kill_everything w;
+  Alcotest.(check (option int)) "clean exit" (Some 0) cp.Kern.exit_status;
+  Alcotest.(check int) "no requests sent" 0 results.Apps.Wrk.completed;
+  Alcotest.(check int) "no errors" 0 results.errors
+
 let test_sqlite_runs () =
   let w = Sim.create_world () in
   Apps.Sqlite_like.register w (Apps.Sqlite_like.default ~ops:50 ());
@@ -100,6 +250,10 @@ let tests =
         (expect_all_requests (K23_eval.Macro.lighttpd ~workers:1 ~kb:0));
       Alcotest.test_case "redis serves all requests" `Quick
         (expect_all_requests (K23_eval.Macro.redis ~io_threads:2));
+      Alcotest.test_case "connect retries do not leak fds" `Quick test_connect_retry_no_fd_leak;
+      Alcotest.test_case "framed reads against a dribbling server" `Quick
+        test_dribbling_server_framing;
+      Alcotest.test_case "rounds = 0 exits cleanly" `Quick test_rounds_zero_clean_exit;
       Alcotest.test_case "sqlite writes its WAL" `Quick test_sqlite_runs;
       Alcotest.test_case "redis serial-section scaling" `Quick test_redis_serial_scaling;
     ] )

@@ -56,6 +56,86 @@ let test_ring_overflow_live () =
   Alcotest.(check int) "event_count = live + dropped" (Trace.event_count t)
     (16 + Trace.dropped t)
 
+(* fold/iter walk the circular array in place; they must agree with
+   to_list in every fill state, including after wrap-around *)
+let test_ring_fold_iter_parity () =
+  let parity r =
+    Alcotest.(check (list int)) "fold parity" (Ring.to_list r)
+      (List.rev (Ring.fold (fun acc x -> x :: acc) [] r));
+    let seen = ref [] in
+    Ring.iter (fun x -> seen := x :: !seen) r;
+    Alcotest.(check (list int)) "iter parity" (Ring.to_list r) (List.rev !seen)
+  in
+  let r = Ring.create ~capacity:4 in
+  parity r;
+  Ring.push r 1;
+  Ring.push r 2;
+  Ring.push r 3;
+  parity r;
+  for i = 4 to 11 do
+    Ring.push r i
+  done;
+  parity r;
+  Alcotest.(check int) "fold sees live entries only" (8 + 9 + 10 + 11) (Ring.fold ( + ) 0 r)
+
+(* --- request latency events ------------------------------------------ *)
+
+(* run a small open-loop client under ktrace: every req_recv must pair
+   with an earlier req_send on the same (conn, req), and the latencies
+   derived from the event stream must equal what the client recorded *)
+let test_req_event_pairing () =
+  let requests = 12 in
+  let w = K23_userland.Sim.create_world ~seed:11 ~quantum:8 () in
+  let t = Kern.ktrace_enable ~capacity:65536 w in
+  let scfg = K23_apps.Webserver.nginx ~workers:1 ~file_size:0 () in
+  K23_apps.Webserver.register w scfg;
+  (match World.spawn w ~path:scfg.K23_apps.Webserver.path () with
+  | Error e -> Alcotest.failf "server spawn: %d" e
+  | Ok _ -> ());
+  K23_eval.Macro.wait_for_listener w scfg.port;
+  Kern.sync_cores w;
+  let ccfg =
+    {
+      K23_apps.Wrk.path = "/usr/bin/wrk";
+      port = scfg.port;
+      threads = 1;
+      conns = 1;
+      depth = 0;
+      rounds = 0;
+      req_cost = 300;
+      resp_len = K23_apps.Webserver.header_len;
+      arrival = K23_apps.Wrk.Open { rate = 200_000; requests; seed = 42 };
+    }
+  in
+  let results = K23_apps.Wrk.register w ccfg in
+  (match World.spawn w ~path:ccfg.K23_apps.Wrk.path () with
+  | Error e -> Alcotest.failf "client spawn: %d" e
+  | Ok cp -> Kern.run ~max_steps:200_000_000 ~until:(fun () -> Kern.proc_dead cp) w);
+  K23_eval.Macro.kill_everything w;
+  Alcotest.(check int) "all requests completed" requests results.K23_apps.Wrk.completed;
+  Alcotest.(check int) "nothing dropped from the ring" 0 (Trace.dropped t);
+  let sends = Hashtbl.create 16 in
+  let lats = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.ev_payload with
+      | Event.Req_send { conn; req; sched } ->
+        Alcotest.(check bool) "send stamped at or after its schedule" true
+          (e.Event.ev_cycles >= sched);
+        Hashtbl.replace sends (conn, req) (sched, e.Event.ev_cycles)
+      | Event.Req_recv { conn; req } -> (
+        match Hashtbl.find_opt sends (conn, req) with
+        | None -> Alcotest.failf "req_recv without req_send: conn %d req %d" conn req
+        | Some (sched, sent_at) ->
+          Alcotest.(check bool) "recv after send" true (e.Event.ev_cycles >= sent_at);
+          lats := (e.Event.ev_cycles - sched) :: !lats)
+      | _ -> ())
+    (Trace.events t);
+  Alcotest.(check int) "one req_recv per completion" requests (List.length !lats);
+  (* both lists are newest-first, recorded at the same instants *)
+  Alcotest.(check (list int)) "event-stream latencies = client latencies"
+    results.K23_apps.Wrk.latencies !lats
+
 (* --- counter registry ----------------------------------------------- *)
 
 let test_counters () =
@@ -233,6 +313,10 @@ let tests =
       Alcotest.test_case "ring overwrites oldest" `Quick test_ring_overflow;
       Alcotest.test_case "ring rejects bad capacity" `Quick test_ring_bad_capacity;
       Alcotest.test_case "ring overflow on a live run" `Quick test_ring_overflow_live;
+      Alcotest.test_case "ring fold/iter parity (incl. wrapped)" `Quick
+        test_ring_fold_iter_parity;
+      Alcotest.test_case "req_send/req_recv pairing on a live open-loop run" `Quick
+        test_req_event_pairing;
       Alcotest.test_case "counter registry" `Quick test_counters;
       Alcotest.test_case "trace-diff verdicts" `Quick test_trace_diff;
       Alcotest.test_case "json stream shape" `Quick test_render_json_shape;
