@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --quick table5 table6   # fewer runs
 
    Experiments: table2 table3 fig3 table5 table6 startup memory
-   ablation simperf ktrace fuzz parfuzz.  EXPERIMENTS.md records the
+   ablation simperf ktrace fuzz parfuzz table6-load table6-chaos.  EXPERIMENTS.md records the
    paper-vs-measured comparison in full.
 
    --jobs N shards the embarrassingly-parallel sweeps (table5, table6,
@@ -76,6 +76,23 @@ let table6 ~runs ~jobs () =
 let table6_load ~quick ~jobs ?json () =
   section "table6-load - open-loop latency campaign (p50/p99/p999 per mechanism)";
   let rep = Load.campaign ~quick ~jobs () in
+  print_string (Load.render rep);
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Load.render_json rep);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+(* The chaos row: the same open-loop campaign with the deterministic
+   fault plane armed for the load phase (EINTR storms, short I/O,
+   EAGAIN, EMFILE, resets) and fault-tolerant servers/clients.  Tails
+   under faults are the robustness complement to table6-load's clean
+   tails; deterministic per seed and byte-identical at any --jobs. *)
+let table6_chaos ~quick ~jobs ?json () =
+  section "table6-chaos - open-loop latency campaign under fault injection";
+  let rep = Load.campaign ~quick ~jobs ~faults:(K23_faults.Faults.chaos ()) () in
   print_string (Load.render rep);
   match json with
   | None -> ()
@@ -344,5 +361,9 @@ let () =
         table6_load ~quick
           ~jobs:(Option.value jobs ~default:1)
           ?json:(json_or "BENCH_load.json") ()
+      | "table6-chaos" ->
+        table6_chaos ~quick
+          ~jobs:(Option.value jobs ~default:1)
+          ?json:(json_or "BENCH_chaos.json") ()
       | other -> Printf.eprintf "unknown experiment %S\n" other)
     experiments

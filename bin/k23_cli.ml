@@ -232,6 +232,16 @@ let fuzz_cmd =
           ~doc:"With $(b,--minimize): write each minimized repro to DIR as a corpus file.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the campaign report as JSON.") in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Run native and every mechanism under the same seeded fault schedule (EINTR with \
+             restart semantics, short reads/writes, errno storms): a divergence then means the \
+             mechanism mishandles an interrupted or restarted syscall.  The schedule seed is \
+             the campaign seed, so reports stay byte-identical at any $(b,--jobs).")
+  in
   let jobs =
     Arg.(
       value & opt int 1
@@ -240,7 +250,7 @@ let fuzz_cmd =
             "Shard iterations across N domains.  The report (text or JSON) is byte-identical \
              for every N.")
   in
-  let run seed iters mech shapes minimize save json jobs =
+  let run seed iters mech shapes minimize save json faults jobs =
     let shapes =
       match shapes with
       | None -> F.Gen.default_shapes
@@ -254,6 +264,14 @@ let fuzz_cmd =
                  Stdlib.exit 2)
     in
     let mechs = match mech with None -> F.Oracle.default_mechs | Some m -> [ m ] in
+    let world =
+      if faults then
+        {
+          F.Campaign.default_config.c_world with
+          K23_kernel.World.Config.faults = K23_faults.Faults.chaos ~fseed:seed ()
+        }
+      else F.Campaign.default_config.c_world
+    in
     let config =
       {
         F.Campaign.default_config with
@@ -262,6 +280,7 @@ let fuzz_cmd =
         c_mechs = mechs;
         c_shapes = shapes;
         c_minimize = minimize;
+        c_world = world;
       }
     in
     let report = F.Campaign.run ~jobs config in
@@ -293,7 +312,7 @@ let fuzz_cmd =
          "Differential conformance fuzzing: run seeded adversarial programs natively and under \
           interposition mechanisms; any observable difference is a mechanism bug.  Exit status 1 \
           if divergences were found.")
-    Term.(const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json $ jobs)
+    Term.(const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json $ faults $ jobs)
 
 let bench_cmd =
   let module F = K23_fuzz in

@@ -16,9 +16,13 @@ type config = {
   init_site_count : int;
   parse_cost : int;  (** per-request protocol parsing (parallel part) *)
   serial_cost : int;  (** per-request command execution (serial part) *)
+  resilient : bool;
+      (** fault-tolerant I/O loops (framed reads, EINTR/EAGAIN retry,
+          partial-write resumption, accept check), as in
+          {!Webserver}.  [false] emits the legacy stream. *)
 }
 
-let default ?(io_threads = 1) () =
+let default ?(io_threads = 1) ?(resilient = false) () =
   {
     path = "/usr/bin/redis-server";
     port = 6379;
@@ -26,7 +30,31 @@ let default ?(io_threads = 1) () =
     init_site_count = 86;
     parse_cost = 500;
     serial_cost = 7800;
+    resilient;
   }
+
+(* shared retry snippets for the resilient variant, mirroring
+   {!Webserver}: backoff is nanosleep(200) with RSI = 0 (arg 1 is the
+   kernel's wake-deadline stash slot) *)
+let backoff_items =
+  [
+    Asm.I (Insn.Mov_ri (RDI, 200));
+    Asm.I (Insn.Mov_ri (RSI, 0));
+    Asm.Call_sym "nanosleep";
+  ]
+
+let retry_or_close ~retry =
+  [
+    Asm.I (Insn.Cmp_ri (RAX, -K23_kernel.Errno.eintr));
+    Asm.Jc (Insn.Z, retry);
+    Asm.I (Insn.Cmp_ri (RAX, -K23_kernel.Errno.eagain));
+    Asm.Jc (Insn.Z, retry);
+    (* injected reset noise on an intact connection: retry, as in
+       {!Webserver.retry_or_close} *)
+    Asm.I (Insn.Cmp_ri (RAX, -K23_kernel.Errno.econnreset));
+    Asm.Jc (Insn.Z, retry);
+    Asm.J "close_conn";
+  ]
 
 let items cfg =
   [ Asm.Label "main" ]
@@ -70,14 +98,54 @@ let items cfg =
       Asm.Label "accept_loop";
       Asm.I (Insn.Mov_rr (RDI, RBX));
       Asm.Call_sym "accept";
+    ]
+  @ (if cfg.resilient then
+       [ Asm.I (Insn.Cmp_ri (RAX, 0)); Asm.Jc (Insn.LT, "accept_loop") ]
+     else [])
+  @ [
       Asm.I (Insn.Mov_rr (R14, RAX));
       Asm.Label "conn_loop";
-      Asm.I (Insn.Mov_rr (RDI, R14));
-      Asm.Mov_sym (RSI, "buf");
-      Asm.I (Insn.Mov_ri (RDX, 64));
-      Asm.Call_sym "read";
-      Asm.I (Insn.Cmp_ri (RAX, 0));
-      Asm.Jc (Insn.LE, "close_conn");
+    ]
+  @ (if cfg.resilient then
+       (* framed 64-byte read with bounded EINTR/EAGAIN retry, as in
+          {!Webserver.op_items}; r13 accumulates, r15 is the budget *)
+       [
+         Asm.I (Insn.Mov_ri (R13, 0));
+         Asm.I (Insn.Mov_ri (R15, 8));
+         Asm.Label "rq_read";
+         Asm.I (Insn.Mov_rr (RDI, R14));
+         Asm.Mov_sym (RSI, "buf");
+         Asm.I (Insn.Add_rr (RSI, R13));
+         Asm.I (Insn.Mov_ri (RDX, 64));
+         Asm.I (Insn.Sub_rr (RDX, R13));
+         Asm.Call_sym "read";
+         Asm.I (Insn.Cmp_ri (RAX, 0));
+         Asm.Jc (Insn.GT, "rq_got");
+       ]
+       @ retry_or_close ~retry:"rq_retry"
+       @ [
+           Asm.Label "rq_retry";
+           Asm.I (Insn.Sub_ri (R15, 1));
+           Asm.Jc (Insn.LE, "close_conn");
+         ]
+       @ backoff_items
+       @ [
+           Asm.J "rq_read";
+           Asm.Label "rq_got";
+           Asm.I (Insn.Add_rr (R13, RAX));
+           Asm.I (Insn.Cmp_ri (R13, 64));
+           Asm.Jc (Insn.LT, "rq_read");
+         ]
+     else
+       [
+         Asm.I (Insn.Mov_rr (RDI, R14));
+         Asm.Mov_sym (RSI, "buf");
+         Asm.I (Insn.Mov_ri (RDX, 64));
+         Asm.Call_sym "read";
+         Asm.I (Insn.Cmp_ri (RAX, 0));
+         Asm.Jc (Insn.LE, "close_conn");
+       ])
+  @ [
       Asm.Vcall_named "rd_parse";
       (* command execution happens on the serial (main-thread) path;
          with multiple I/O threads the hand-off costs a real
@@ -90,12 +158,41 @@ let items cfg =
          Asm.I Insn.Syscall;
        ]
      else [])
+  @ [ Asm.Vcall_named "rd_exec" ]
+  @ (if cfg.resilient then
+       (* partial-write resumption with EINTR/EAGAIN retry (countdown
+          of bytes owed in r13), as in {!Webserver.op_items} *)
+       [
+         Asm.I (Insn.Mov_ri (R13, 64));
+         Asm.Label "wr_loop";
+         Asm.I (Insn.Mov_rr (RDI, R14));
+         Asm.Mov_sym (RSI, "resp");
+         Asm.I (Insn.Mov_ri (RDX, 64));
+         Asm.I (Insn.Add_rr (RSI, RDX));
+         Asm.I (Insn.Sub_rr (RSI, R13));
+         Asm.I (Insn.Mov_rr (RDX, R13));
+         Asm.Call_sym "write";
+         Asm.I (Insn.Cmp_ri (RAX, 0));
+         Asm.Jc (Insn.GT, "wr_ok");
+       ]
+       @ retry_or_close ~retry:"wr_retry"
+       @ [ Asm.Label "wr_retry" ]
+       @ backoff_items
+       @ [
+           Asm.J "wr_loop";
+           Asm.Label "wr_ok";
+           Asm.I (Insn.Sub_rr (R13, RAX));
+           Asm.I (Insn.Cmp_ri (R13, 0));
+           Asm.Jc (Insn.GT, "wr_loop");
+         ]
+     else
+       [
+         Asm.I (Insn.Mov_rr (RDI, R14));
+         Asm.Mov_sym (RSI, "resp");
+         Asm.I (Insn.Mov_ri (RDX, 64));
+         Asm.Call_sym "write";
+       ])
   @ [
-      Asm.Vcall_named "rd_exec";
-      Asm.I (Insn.Mov_rr (RDI, R14));
-      Asm.Mov_sym (RSI, "resp");
-      Asm.I (Insn.Mov_ri (RDX, 64));
-      Asm.Call_sym "write";
       Asm.J "conn_loop";
       Asm.Label "close_conn";
       Asm.I (Insn.Mov_rr (RDI, R14));

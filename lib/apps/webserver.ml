@@ -33,6 +33,13 @@ type config = {
   init_site_count : int;  (** distinct startup syscall sites (Table 2) *)
   per_request : req_op list;
   compute_cost : int;
+  resilient : bool;
+      (** emit fault-tolerant request/response loops: framed reads,
+          bounded [EINTR]/[EAGAIN] retry with a short [nanosleep]
+          backoff, partial-write resumption, and an [accept] return
+          check.  [false] (the default) emits the legacy instruction
+          stream byte-for-byte — the chaos row ({!K23_eval.Load}) is
+          the only user. *)
 }
 
 let served_file = "/srv/www/file4k"
@@ -40,7 +47,7 @@ let served_file = "/srv/www/file4k"
 let header_len = 128
 
 (* nginx-like: 7 kernel syscalls per 0-KiB request, more for 4 KiB *)
-let nginx ?(workers = 1) ?(file_size = 0) () =
+let nginx ?(workers = 1) ?(file_size = 0) ?(resilient = false) () =
   {
     name = "nginx";
     path = "/usr/sbin/nginx";
@@ -53,10 +60,11 @@ let nginx ?(workers = 1) ?(file_size = 0) () =
       @ (if file_size > 0 then [ Open_file; Read_file; Close_file ] else [])
       @ [ Write_resp ];
     compute_cost = (if file_size > 0 then 19500 else 16000);
+    resilient;
   }
 
 (* lighttpd-like: leaner per-request syscall sequence *)
-let lighttpd ?(workers = 1) ?(file_size = 0) () =
+let lighttpd ?(workers = 1) ?(file_size = 0) ?(resilient = false) () =
   {
     name = "lighttpd";
     path = "/usr/sbin/lighttpd";
@@ -69,9 +77,65 @@ let lighttpd ?(workers = 1) ?(file_size = 0) () =
       @ (if file_size > 0 then [ Open_file; Read_file; Close_file ] else [])
       @ [ Write_resp ];
     compute_cost = (if file_size > 0 then 19000 else 15800);
+    resilient;
   }
 
+(* Backoff before a retry: nanosleep(200).  RSI must be 0 — the
+   kernel stashes the wake deadline in arg 1. *)
+let backoff_items =
+  [
+    Asm.I (Insn.Mov_ri (RDI, 200));
+    Asm.I (Insn.Mov_ri (RSI, 0));
+    Asm.Call_sym "nanosleep";
+  ]
+
+(* rax <= 0 after a read/write: jump to [retry] on EINTR/EAGAIN, give
+   the connection up otherwise.  ECONNRESET also retries: the fault
+   plane injects it as errno noise on an intact connection, so closing
+   would orphan every later request the client sends on it. *)
+let retry_or_close ~retry =
+  [
+    Asm.I (Insn.Cmp_ri (RAX, -Errno.eintr));
+    Asm.Jc (Insn.Z, retry);
+    Asm.I (Insn.Cmp_ri (RAX, -Errno.eagain));
+    Asm.Jc (Insn.Z, retry);
+    Asm.I (Insn.Cmp_ri (RAX, -Errno.econnreset));
+    Asm.Jc (Insn.Z, retry);
+    Asm.J "close_conn";
+  ]
+
 let op_items cfg = function
+  | Read_req when cfg.resilient ->
+    (* framed read: accumulate the fixed 64-byte request in r13,
+       retrying EINTR/EAGAIN (budget in r15) with a short backoff — a
+       short read must not desynchronize the framing *)
+    [
+      Asm.I (Insn.Mov_ri (R13, 0));
+      Asm.I (Insn.Mov_ri (R15, 8));
+      Asm.Label "rq_read";
+      Asm.I (Insn.Mov_rr (RDI, R14));
+      Asm.Mov_sym (RSI, "buf");
+      Asm.I (Insn.Add_rr (RSI, R13));
+      Asm.I (Insn.Mov_ri (RDX, 64));
+      Asm.I (Insn.Sub_rr (RDX, R13));
+      Asm.Call_sym "read";
+      Asm.I (Insn.Cmp_ri (RAX, 0));
+      Asm.Jc (Insn.GT, "rq_got");
+    ]
+    @ retry_or_close ~retry:"rq_retry"
+    @ [
+        Asm.Label "rq_retry";
+        Asm.I (Insn.Sub_ri (R15, 1));
+        Asm.Jc (Insn.LE, "close_conn");
+      ]
+    @ backoff_items
+    @ [
+        Asm.J "rq_read";
+        Asm.Label "rq_got";
+        Asm.I (Insn.Add_rr (R13, RAX));
+        Asm.I (Insn.Cmp_ri (R13, 64));
+        Asm.Jc (Insn.LT, "rq_read");
+      ]
   | Read_req ->
     [
       Asm.I (Insn.Mov_rr (RDI, R14));
@@ -83,6 +147,35 @@ let op_items cfg = function
       Asm.Jc (Insn.LE, "close_conn");
     ]
   | Compute -> [ Asm.Vcall_named "srv_work" ]
+  | Write_resp when cfg.resilient ->
+    (* partial-write resumption: r13 counts the bytes still owed
+       (countdown, so the length is never a Cmp_ri imm8 operand);
+       EINTR/EAGAIN retry until the frame is out — abandoning a
+       half-written response would desynchronize the client *)
+    let len = header_len + cfg.file_size in
+    [
+      Asm.I (Insn.Mov_ri (R13, len));
+      Asm.Label "wr_loop";
+      Asm.I (Insn.Mov_rr (RDI, R14));
+      Asm.Mov_sym (RSI, "resp");
+      Asm.I (Insn.Mov_ri (RDX, len));
+      Asm.I (Insn.Add_rr (RSI, RDX));
+      Asm.I (Insn.Sub_rr (RSI, R13));
+      Asm.I (Insn.Mov_rr (RDX, R13));
+      Asm.Call_sym "write";
+      Asm.I (Insn.Cmp_ri (RAX, 0));
+      Asm.Jc (Insn.GT, "wr_ok");
+    ]
+    @ retry_or_close ~retry:"wr_retry"
+    @ [ Asm.Label "wr_retry" ]
+    @ backoff_items
+    @ [
+        Asm.J "wr_loop";
+        Asm.Label "wr_ok";
+        Asm.I (Insn.Sub_rr (R13, RAX));
+        Asm.I (Insn.Cmp_ri (R13, 0));
+        Asm.Jc (Insn.GT, "wr_loop");
+      ]
   | Write_resp ->
     [
       Asm.I (Insn.Mov_rr (RDI, R14));
@@ -155,6 +248,13 @@ let items cfg =
       Asm.Label "accept_loop";
       Asm.I (Insn.Mov_rr (RDI, RBX));
       Asm.Call_sym "accept";
+    ]
+  @ (if cfg.resilient then
+       (* injected EMFILE/EAGAIN: re-accept instead of reading a
+          garbage fd *)
+       [ Asm.I (Insn.Cmp_ri (RAX, 0)); Asm.Jc (Insn.LT, "accept_loop") ]
+     else [])
+  @ [
       Asm.I (Insn.Mov_rr (R14, RAX));
       Asm.Label "conn_loop";
     ]

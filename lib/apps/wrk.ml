@@ -53,6 +53,11 @@ type config = {
   req_cost : int;  (** client-side work per request *)
   resp_len : int;  (** exact response size, for framed reads *)
   arrival : arrival;
+  retries : int;
+      (** bounded retry-with-backoff budget for [EINTR]/[EAGAIN] and
+          failed socket allocation, plus partial-write resumption —
+          the chaos-row client ({!K23_eval.Load}).  [0] (the default)
+          is the legacy client, instruction-for-instruction. *)
 }
 
 type results = {
@@ -76,6 +81,9 @@ type mode =
   | Close
   | Open_step  (** open loop: send on schedule, read what's ready *)
   | Open_close of int  (** open loop: close connection [i] and up *)
+  | Backoff of mode
+      (** [retries > 0] only: sleep briefly, then resume the wrapped
+          mode — the retry half of retry-with-backoff *)
   | Finished
 
 (** Open-loop per-thread state: all [conns] connections live at once. *)
@@ -87,6 +95,10 @@ type ostate = {
   o_partial : int array;  (** bytes of the current response already read *)
   mutable o_next_at : int;  (** scheduled send time of the next request *)
   mutable o_sent : int;
+  mutable o_wpart : int;
+      (** bytes of the due request already written ([retries > 0]:
+          short writes resume the frame instead of desynchronizing the
+          server's framing; only one send is in flight at a time) *)
   o_rng : Rng.t;
 }
 
@@ -99,6 +111,8 @@ type tstate = {
   mutable partial : int;  (** closed loop: bytes of the current response read *)
   mutable stack : int;
   mutable post : int -> unit;
+  mutable attempts : int;  (** consecutive retries of the current call *)
+  mutable wpart : int;  (** closed loop: bytes of the current request written *)
   ost : ostate option;  (** [Some] iff [cfg.arrival] is [Open] *)
 }
 
@@ -114,6 +128,7 @@ let fresh_tstate cfg ~tid mode =
           o_partial = Array.make (max 1 cfg.conns) 0;
           o_next_at = 0;
           o_sent = 0;
+          o_wpart = 0;
           (* distinct stream per thread; tids are assigned
              deterministically, so the arrival schedule is too *)
           o_rng = Rng.create ~seed:(seed + (0x9e3779b9 * tid));
@@ -128,6 +143,8 @@ let fresh_tstate cfg ~tid mode =
     partial = 0;
     stack = 0;
     post = ignore;
+    attempts = 0;
+    wpart = 0;
     ost;
   }
 
@@ -221,6 +238,17 @@ let register w cfg : results =
       Net.Byteq.length (Net.recv_q c ep) > 0 || Net.peer_closed c ep
     | _ -> true (* stale fd: let the read fail promptly *)
   in
+  (* retry-with-backoff plumbing, live only when [cfg.retries > 0]
+     (the chaos row): a retryable errno re-enters the same mode after a
+     short sleep, growing linearly with consecutive attempts.
+     ECONNRESET counts as retryable because the fault plane injects it
+     as errno noise on a connection that is still intact — the retry
+     stands in for the reconnect a real benchmark client would do. *)
+  let retryable r = r = -Errno.eintr || r = -Errno.eagain || r = -Errno.econnreset in
+  let backoff st next =
+    st.attempts <- st.attempts + 1;
+    st.mode <- Backoff next
+  in
   let rec wk_step (ctx : Kern.ctx) =
     let st = state_of ctx in
     match st.mode with
@@ -229,14 +257,30 @@ let register w cfg : results =
       wk_step ctx
     | Spawn n ->
       st.mode <- Mmap_stack n;
-      sys6 ctx st Sysno.mmap [| 0; 0x10000; 3; 0x20; -1; 0 |] ~post:(fun r -> st.stack <- r)
+      sys6 ctx st Sysno.mmap [| 0; 0x10000; 3; 0x20; -1; 0 |] ~post:(fun r ->
+          if cfg.retries > 0 && r < 0 then begin
+            (* injected ENOMEM: cloning onto a garbage stack would
+               fault the child, so re-request the mapping *)
+            results.errors <- results.errors + 1;
+            backoff st (Spawn n)
+          end
+          else st.stack <- r)
     | Mmap_stack n ->
       st.mode <- Spawn (n - 1);
       sys ctx st Sysno.clone (data_sym ctx "wk_thread_entry") (st.stack + 0xf000) 0 ~post:ignore
     | Socket ->
       sys ctx st Sysno.socket 2 1 0 ~post:(fun r ->
-          st.cur_fd <- r;
-          st.mode <- Connect)
+          if cfg.retries > 0 && r < 0 then begin
+            (* injected EMFILE/ENFILE: fds free up as other connections
+               close, so back off and re-try the allocation *)
+            results.errors <- results.errors + 1;
+            backoff st Socket
+          end
+          else begin
+            st.cur_fd <- r;
+            st.attempts <- 0;
+            st.mode <- Connect
+          end)
     | Connect ->
       sys ctx st Sysno.connect st.cur_fd cfg.port 0 ~post:(fun r ->
           if r < 0 then begin
@@ -275,10 +319,21 @@ let register w cfg : results =
       (* prime the pipeline: [depth] outstanding requests, like wrk's
          16 concurrent connections per thread *)
       let total = cfg.depth * cfg.rounds in
-      Appkit.charge_work ctx cfg.req_cost;
-      sys ctx st Sysno.write st.cur_fd (data_sym ctx "wk_req") 64 ~post:(fun _ ->
-          st.sent <- st.sent + 1;
-          if st.sent >= min cfg.depth total then st.mode <- Steady_recv)
+      if st.wpart = 0 then Appkit.charge_work ctx cfg.req_cost;
+      sys ctx st Sysno.write st.cur_fd (data_sym ctx "wk_req" + st.wpart) (64 - st.wpart)
+        ~post:(fun r ->
+          if cfg.retries > 0 && retryable r && (st.attempts < cfg.retries || st.wpart > 0)
+          then backoff st Fill
+          else if cfg.retries > 0 && r >= 0 && st.wpart + r < 64 then
+            (* short write: resume the frame from the offset, or the
+               server's 64-byte request framing desynchronizes *)
+            st.wpart <- st.wpart + r
+          else begin
+            st.attempts <- 0;
+            st.wpart <- 0;
+            st.sent <- st.sent + 1;
+            if st.sent >= min cfg.depth total then st.mode <- Steady_recv
+          end)
     | Steady_recv ->
       (* sliding window: one response in, one request out — the
          pipeline never drains, so the server never starves.  The read
@@ -294,15 +349,19 @@ let register w cfg : results =
       in
       sys ctx st Sysno.read st.cur_fd (data_sym ctx "wk_buf") (cfg.resp_len - st.partial)
         ~post:(fun r ->
-          if r <= 0 then begin
+          if cfg.retries > 0 && retryable r && st.attempts < cfg.retries then
+            backoff st Steady_recv
+          else if r <= 0 then begin
             (* EOF or error mid-frame: this response will never
                complete *)
             results.errors <- results.errors + 1;
             st.partial <- 0;
+            st.attempts <- 0;
             advance ()
           end
           else begin
             st.partial <- st.partial + r;
+            st.attempts <- 0;
             if st.partial >= cfg.resp_len then begin
               st.partial <- 0;
               results.completed <- results.completed + 1;
@@ -311,10 +370,19 @@ let register w cfg : results =
             (* else: short read — stay in Steady_recv for the rest *)
           end)
     | Steady_send ->
-      Appkit.charge_work ctx cfg.req_cost;
-      sys ctx st Sysno.write st.cur_fd (data_sym ctx "wk_req") 64 ~post:(fun _ ->
-          st.sent <- st.sent + 1;
-          st.mode <- Steady_recv)
+      if st.wpart = 0 then Appkit.charge_work ctx cfg.req_cost;
+      sys ctx st Sysno.write st.cur_fd (data_sym ctx "wk_req" + st.wpart) (64 - st.wpart)
+        ~post:(fun r ->
+          if cfg.retries > 0 && retryable r && (st.attempts < cfg.retries || st.wpart > 0)
+          then backoff st Steady_send
+          else if cfg.retries > 0 && r >= 0 && st.wpart + r < 64 then
+            st.wpart <- st.wpart + r
+          else begin
+            st.attempts <- 0;
+            st.wpart <- 0;
+            st.sent <- st.sent + 1;
+            st.mode <- Steady_recv
+          end)
     | Close ->
       (* finish this connection; open the next one if any remain *)
       sys ctx st Sysno.close st.cur_fd 0 0 ~post:(fun _ ->
@@ -334,12 +402,16 @@ let register w cfg : results =
         let fd = ost.o_fds.(c) in
         sys ctx st Sysno.read fd (data_sym ctx "wk_buf") (cfg.resp_len - ost.o_partial.(c))
           ~post:(fun r ->
-            if r <= 0 then begin
+            if cfg.retries > 0 && retryable r && st.attempts < cfg.retries then
+              backoff st Open_step
+            else if r <= 0 then begin
               results.errors <- results.errors + 1;
               ignore (Queue.pop ost.o_pending.(c));
-              ost.o_partial.(c) <- 0
+              ost.o_partial.(c) <- 0;
+              st.attempts <- 0
             end
             else begin
+              st.attempts <- 0;
               ost.o_partial.(c) <- ost.o_partial.(c) + r;
               if ost.o_partial.(c) >= cfg.resp_len then begin
                 ost.o_partial.(c) <- 0;
@@ -364,15 +436,24 @@ let register w cfg : results =
         let fd = ost.o_fds.(c) in
         let req = ost.o_sent in
         let sched = ost.o_next_at in
-        Appkit.charge_work ctx cfg.req_cost;
-        sys ctx st Sysno.write fd (data_sym ctx "wk_req") 64 ~post:(fun r ->
-            if r < 0 then results.errors <- results.errors + 1
+        if ost.o_wpart = 0 then Appkit.charge_work ctx cfg.req_cost;
+        sys ctx st Sysno.write fd (data_sym ctx "wk_req" + ost.o_wpart) (64 - ost.o_wpart)
+          ~post:(fun r ->
+            if cfg.retries > 0 && retryable r && (st.attempts < cfg.retries || ost.o_wpart > 0)
+            then backoff st Open_step (* still due: o_sent unchanged *)
+            else if cfg.retries > 0 && r >= 0 && ost.o_wpart + r < 64 then
+              ost.o_wpart <- ost.o_wpart + r
             else begin
-              Queue.push (req, sched) ost.o_pending.(c);
-              ignore (Kern.note_req_send ctx.world ctx.thread ~conn:fd ~req ~sched)
-            end;
-            ost.o_sent <- ost.o_sent + 1;
-            ost.o_next_at <- sched + draw_gap ost.o_rng ~rate)
+              st.attempts <- 0;
+              if r < 0 then results.errors <- results.errors + 1
+              else begin
+                Queue.push (req, sched) ost.o_pending.(c);
+                ignore (Kern.note_req_send ctx.world ctx.thread ~conn:fd ~req ~sched)
+              end;
+              ost.o_wpart <- 0;
+              ost.o_sent <- ost.o_sent + 1;
+              ost.o_next_at <- sched + draw_gap ost.o_rng ~rate
+            end)
       end
       else
         let ready = first_conn (fun c -> conn_readable ctx ost.o_fds.(c)) in
@@ -393,6 +474,9 @@ let register w cfg : results =
       let ost = Option.get st.ost in
       sys ctx st Sysno.close ost.o_fds.(k) 0 0 ~post:(fun _ ->
           st.mode <- (if k + 1 >= cfg.conns then Finished else Open_close (k + 1)))
+    | Backoff next ->
+      (* RSI must be 0: the kernel stashes the wake deadline in arg 1 *)
+      sys ctx st Sysno.nanosleep (200 * st.attempts) 0 0 ~post:(fun _ -> st.mode <- next)
     | Finished ->
       decr live_threads;
       (* last thread out terminates the whole benchmark process *)

@@ -27,6 +27,7 @@
 
 open K23_kernel
 open K23_userland
+module F = K23_faults.Faults
 module I = K23_interpose.Interpose
 module Stats = K23_util.Stats
 module Apps = K23_apps
@@ -107,15 +108,15 @@ let rate_of t = match t.t_workload with Web -> web_rate | Redis -> redis_rate
 (** Register a tenant's server app; returns its (path, port).  Paths
     and ports are suffixed per tenant so several servers coexist in
     one world. *)
-let register_tenant w idx t =
+let register_tenant w idx t ~resilient =
   match t.t_workload with
   | Web ->
-    let cfg = Apps.Webserver.nginx ~workers:t.t_workers ~file_size:0 () in
+    let cfg = Apps.Webserver.nginx ~workers:t.t_workers ~file_size:0 ~resilient () in
     let cfg = { cfg with Apps.Webserver.path = cfg.path ^ "#" ^ t.t_tag; port = 8080 + idx } in
     Apps.Webserver.register w cfg;
     (cfg.path, cfg.port)
   | Redis ->
-    let cfg = Apps.Redis_like.default ~io_threads:t.t_workers () in
+    let cfg = Apps.Redis_like.default ~io_threads:t.t_workers ~resilient () in
     let cfg = { cfg with Apps.Redis_like.path = cfg.path ^ "#" ^ t.t_tag; port = 6379 + idx } in
     Apps.Redis_like.register w cfg;
     (cfg.path, cfg.port)
@@ -144,6 +145,7 @@ let offline_tenant w t ~path ~port =
       req_cost;
       resp_len;
       arrival = Apps.Wrk.Closed;
+      retries = 0;
     }
   in
   ignore (Macro.drive_client w ~client:warm);
@@ -155,14 +157,21 @@ let progress fmt = Printf.eprintf fmt
 (** One seeded world-run of a row: register every tenant's server, run
     the K23 offline phases, launch all servers under their mechanisms,
     then spawn one open-loop client per tenant and run until every
-    client exits.  Returns per-tenant outcomes in tenant order. *)
-let run_one ~requests ~seed (rs : row_spec) : (string * tenant_out) list =
+    client exits.  Returns per-tenant outcomes in tenant order.
+
+    With [?faults] (the chaos row), servers are built resilient,
+    clients retry, and the fault plane is armed only once every server
+    is listening: registration, offline phases, and mechanism launches
+    run clean, so chaos perturbs the measured load phase and nothing
+    else.  The armed plan derives its seed from the run seed, keeping
+    every (row, seed) task's schedule independent but reproducible. *)
+let run_one ~requests ~seed ?faults (rs : row_spec) : (string * tenant_out) list =
   progress "[load] %s / %s / seed %d\n%!" rs.rs_workload rs.rs_mech_label seed;
   let w = Sim.create_world ~seed ~quantum:8 () in
   let infos =
     List.mapi
       (fun idx t ->
-        let path, port = register_tenant w idx t in
+        let path, port = register_tenant w idx t ~resilient:(faults <> None) in
         (t, path, port))
       rs.rs_tenants
   in
@@ -180,6 +189,11 @@ let run_one ~requests ~seed (rs : row_spec) : (string * tenant_out) list =
   List.iter (fun (_, _, port) -> Macro.wait_for_listener w port) infos;
   (* phase boundary: wall time has passed on every core *)
   Kern.sync_cores w;
+  (match faults with
+  | None -> ()
+  | Some p ->
+    w.Kern.faults <- Some { p with F.fseed = p.F.fseed + seed };
+    Kern.fault_reset w);
   let clients =
     List.map
       (fun (t, _, port) ->
@@ -195,6 +209,7 @@ let run_one ~requests ~seed (rs : row_spec) : (string * tenant_out) list =
             req_cost;
             resp_len;
             arrival = Apps.Wrk.Open { rate = rate_of t; requests; seed = seed + 77 };
+            retries = (if faults = None then 0 else 8);
           }
         in
         (t, Apps.Wrk.register w ccfg, ccfg))
@@ -208,7 +223,12 @@ let run_one ~requests ~seed (rs : row_spec) : (string * tenant_out) list =
         | Ok p -> p)
       clients
   in
-  Kern.run ~max_steps:600_000_000 ~until:(fun () -> List.for_all Kern.proc_dead procs) w;
+  (* under chaos a pathological fault draw can strand a client mid
+     protocol (e.g. a reset abandoning a half-sent frame); a deadlocked
+     world just means those requests are lost, which the completed
+     counters already reflect — don't lose the whole row to it *)
+  (try Kern.run ~max_steps:600_000_000 ~until:(fun () -> List.for_all Kern.proc_dead procs) w
+   with Kern.Deadlock _ -> ());
   let t_end = Kern.now w in
   Macro.kill_everything w;
   List.map
@@ -258,7 +278,14 @@ type row = {
   r_tenants : tenant_row list;
 }
 
-type report = { rep_quick : bool; rep_runs : int; rep_requests : int; rep_rows : row list }
+type report = {
+  rep_quick : bool;
+  rep_runs : int;
+  rep_requests : int;
+  rep_faults : string option;
+      (** chaos row only: the armed plan, {!F.to_string}-rendered *)
+  rep_rows : row list;
+}
 
 let pct lat p =
   match lat with
@@ -316,17 +343,24 @@ let seeds runs = List.init runs (fun i -> 4_000 + (i * 17))
 (** Run the campaign: one Run-spec task per (row, seed), sharded over
     [jobs] domains, merged in submission order — the report (and its
     JSON rendering) is byte-identical whatever [jobs] is. *)
-let campaign ?(quick = false) ?(jobs = 1) ?runs ?requests ?(specs = all_specs) () =
+let campaign ?(quick = false) ?(jobs = 1) ?runs ?requests ?(specs = all_specs) ?faults () =
   let runs = match runs with Some r -> r | None -> if quick then 1 else 3 in
   let requests = match requests with Some r -> r | None -> if quick then 64 else 400 in
   let tasks = List.concat_map (fun rs -> List.map (fun seed -> (rs, seed)) (seeds runs)) specs in
   let rlist =
     List.mapi
       (fun idx (rs, seed) ->
-        Rs.v
-          ~world:(World.Config.make ~quantum:8 ~seed ())
-          ~mech:rs.rs_mech_label ~index:idx
-          (fun () -> run_one ~requests ~seed rs))
+        (* the per-seed derived plan goes into the Run-spec world key
+           too, so a chaos task never shares a scratch world with a
+           clean one *)
+        let wcfg =
+          match faults with
+          | None -> World.Config.make ~quantum:8 ~seed ()
+          | Some p ->
+            World.Config.make ~quantum:8 ~seed ~faults:{ p with F.fseed = p.F.fseed + seed } ()
+        in
+        Rs.v ~world:wcfg ~mech:rs.rs_mech_label ~index:idx (fun () ->
+            run_one ~requests ~seed ?faults rs))
       tasks
   in
   let outs = List.map snd (Rs.run_all ~jobs rlist) in
@@ -334,7 +368,13 @@ let campaign ?(quick = false) ?(jobs = 1) ?runs ?requests ?(specs = all_specs) (
   let rows =
     List.mapi (fun i rs -> assemble rs (List.filteri (fun j _ -> j / runs = i) outs)) specs
   in
-  { rep_quick = quick; rep_runs = runs; rep_requests = requests; rep_rows = rows }
+  {
+    rep_quick = quick;
+    rep_runs = runs;
+    rep_requests = requests;
+    rep_faults = Option.map F.to_string faults;
+    rep_rows = rows;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -344,8 +384,12 @@ let us_of_cycles c = float_of_int c *. 1e6 /. float_of_int Kern.cycles_per_sec
 let render rep =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
-    (Printf.sprintf "%d seed(s), %d requests/thread, open-loop Poisson arrivals\n\n" rep.rep_runs
+    (Printf.sprintf "%d seed(s), %d requests/thread, open-loop Poisson arrivals\n" rep.rep_runs
        rep.rep_requests);
+  (match rep.rep_faults with
+  | None -> ()
+  | Some f -> Buffer.add_string buf (Printf.sprintf "chaos: %s (+seed per run)\n" f));
+  Buffer.add_char buf '\n';
   Buffer.add_string buf
     (Printf.sprintf "%-36s %-28s %9s %9s %9s %10s %7s %9s\n" "workload" "mechanism" "p50_us"
        "p99_us" "p999_us" "completed" "errors" "kreq/s");
@@ -372,10 +416,14 @@ let render rep =
 let render_json rep =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
+    (Printf.sprintf "{\n  \"experiment\": \"%s\",\n"
+       (match rep.rep_faults with None -> "table6-load" | Some _ -> "table6-chaos"));
+  (match rep.rep_faults with
+  | None -> ()
+  | Some f -> Buffer.add_string buf (Printf.sprintf "  \"faults\": \"%s\",\n" f));
+  Buffer.add_string buf
     (Printf.sprintf
-       "{\n\
-       \  \"experiment\": \"table6-load\",\n\
-       \  \"quick\": %b,\n\
+       "  \"quick\": %b,\n\
        \  \"runs\": %d,\n\
        \  \"requests_per_thread\": %d,\n\
        \  \"web_rate\": %d,\n\

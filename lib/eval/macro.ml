@@ -96,6 +96,7 @@ let client_for spec ~rounds =
         req_cost = 300;
         resp_len = Apps.Webserver.header_len + cfg.file_size;
         arrival = Apps.Wrk.Closed;
+        retries = 0;
       }
   | Redis cfg ->
     Some
@@ -109,6 +110,7 @@ let client_for spec ~rounds =
         req_cost = 12_500;
         resp_len = 64;
         arrival = Apps.Wrk.Closed;
+        retries = 0;
       }
   | Sqlite _ -> None
 

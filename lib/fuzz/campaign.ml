@@ -45,6 +45,22 @@ let default_config =
     the campaign seed, so any iteration can be replayed alone. *)
 let iter_seed config i = (config.c_seed * 1_000_003) + i
 
+(** Per-iteration world: with the fault plane enabled, each iteration
+    rolls its own schedule ([fseed] offset by the iteration index) —
+    fuzz programs make only a handful of syscalls, so replaying one
+    fixed schedule from tick 0 every iteration would exercise almost
+    no faults.  Native and every mechanism column of iteration [i]
+    still share the exact same config, which is the alignment the
+    differential oracle needs. *)
+let iter_world config i =
+  let f = config.c_world.World.Config.faults in
+  if K23_faults.Faults.enabled f then
+    {
+      config.c_world with
+      World.Config.faults = { f with K23_faults.Faults.fseed = f.K23_faults.Faults.fseed + (i * 7919) }
+    }
+  else config.c_world
+
 type finding = {
   f_iter : int;
   f_prog_seed : int;
@@ -83,7 +99,7 @@ let gen_native config i : Gen.prog * Oracle.projected =
   let rng = Rng.create ~seed:pseed in
   let prog = Gen.generate ~shapes:config.c_shapes rng in
   match
-    Oracle.run ~cfg:config.c_world ~max_steps:config.c_max_steps ~mech:Mech.Native
+    Oracle.run ~cfg:(iter_world config i) ~max_steps:config.c_max_steps ~mech:Mech.Native
       prog.Gen.items
   with
   | Oracle.Launch_failed e ->
@@ -105,7 +121,7 @@ let run ?(on_finding = fun (_ : finding) -> ()) ?(jobs = 1) config =
   (* phase A: one run-spec per iteration — generate + native column *)
   let gen_specs =
     List.init config.c_iters (fun i ->
-        K23_par.Run_spec.v ~world:config.c_world ~mech:"native" ~index:i (fun () ->
+        K23_par.Run_spec.v ~world:(iter_world config i) ~mech:"native" ~index:i (fun () ->
             gen_native config i))
   in
   let natives = Array.of_list (List.map snd (K23_par.Run_spec.run_all ~jobs gen_specs)) in
@@ -119,9 +135,9 @@ let run ?(on_finding = fun (_ : finding) -> ()) ?(jobs = 1) config =
            let prog, native = natives.(i) in
            List.map
              (fun mech ->
-               K23_par.Run_spec.v ~world:config.c_world ~mech:(Mech.to_string mech)
+               K23_par.Run_spec.v ~world:(iter_world config i) ~mech:(Mech.to_string mech)
                  ~index:i (fun () ->
-                   Oracle.diverges ~cfg:config.c_world ~max_steps:config.c_max_steps
+                   Oracle.diverges ~cfg:(iter_world config i) ~max_steps:config.c_max_steps
                      ~native ~mech prog.Gen.items))
              config.c_mechs))
   in
@@ -157,7 +173,7 @@ let run ?(on_finding = fun (_ : finding) -> ()) ?(jobs = 1) config =
             if not config.c_minimize then (None, None)
             else
               match
-                Shrink.minimize ~cfg:config.c_world ~max_steps:config.c_max_steps ~mech
+                Shrink.minimize ~cfg:(iter_world config i) ~max_steps:config.c_max_steps ~mech
                   out.io_prog.Gen.items
               with
               | None -> (None, None)
@@ -167,6 +183,9 @@ let run ?(on_finding = fun (_ : finding) -> ()) ?(jobs = 1) config =
                       Corpus.e_mech = mech;
                       e_seed = pseed;
                       e_expect = Oracle.render_divergence r.Shrink.divergence;
+                      e_faults =
+                        (let f = (iter_world config i).World.Config.faults in
+                         if K23_faults.Faults.enabled f then Some f else None);
                       e_items = r.Shrink.items;
                     },
                   Some (Gen.insn_count r.Shrink.items) )
@@ -221,6 +240,9 @@ let render_json (r : report) =
   add "{\n";
   add (Printf.sprintf "  \"seed\": %d,\n" r.r_config.c_seed);
   add (Printf.sprintf "  \"iters\": %d,\n" r.r_config.c_iters);
+  add
+    (Printf.sprintf "  \"faults\": \"%s\",\n"
+       (K23_faults.Faults.to_string r.r_config.c_world.World.Config.faults));
   add
     (Printf.sprintf "  \"shapes\": [%s],\n"
        (String.concat ", "

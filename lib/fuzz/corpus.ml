@@ -17,6 +17,9 @@ type entry = {
   e_mech : Mech.t;  (** mechanism the repro diverges under *)
   e_seed : int;  (** generator seed that first produced it *)
   e_expect : string;  (** rendered divergence at save time *)
+  e_faults : K23_faults.Faults.plan option;
+      (** fault plan active when the divergence was found; replay arms
+          the same plan so fault-triggered repros stay reproducible *)
   e_items : Asm.item list;
 }
 
@@ -194,6 +197,10 @@ let to_string (e : entry) =
   Buffer.add_string buf (Printf.sprintf "mech: %s\n" (Mech.to_string e.e_mech));
   Buffer.add_string buf (Printf.sprintf "seed: %d\n" e.e_seed);
   Buffer.add_string buf (Printf.sprintf "expect: %s\n" e.e_expect);
+  (match e.e_faults with
+  | None -> ()
+  | Some p ->
+    Buffer.add_string buf (Printf.sprintf "faults: %s\n" (K23_faults.Faults.to_string p)));
   Buffer.add_string buf "---\n";
   List.iter
     (fun it ->
@@ -204,7 +211,7 @@ let to_string (e : entry) =
 
 let of_string s : entry =
   let lines = String.split_on_char '\n' s in
-  let mech = ref None and seed = ref 0 and expect = ref "" in
+  let mech = ref None and seed = ref 0 and expect = ref "" and faults = ref None in
   let rec header = function
     | [] -> raise (Parse_error "missing --- separator")
     | l :: rest -> (
@@ -224,6 +231,10 @@ let of_string s : entry =
             | None -> raise (Parse_error ("unknown mech: " ^ v)))
           | "seed" -> seed := num v
           | "expect" -> expect := v
+          | "faults" -> (
+            match K23_faults.Faults.of_string v with
+            | Some p -> faults := Some p
+            | None -> raise (Parse_error ("bad fault plan: " ^ v)))
           | _ -> () (* forward-compatible: ignore unknown keys *));
           header rest)
   in
@@ -237,7 +248,8 @@ let of_string s : entry =
   in
   match !mech with
   | None -> raise (Parse_error "missing mech: header")
-  | Some m -> { e_mech = m; e_seed = !seed; e_expect = !expect; e_items = items }
+  | Some m ->
+    { e_mech = m; e_seed = !seed; e_expect = !expect; e_faults = !faults; e_items = items }
 
 let save ~path (e : entry) =
   let oc = open_out path in

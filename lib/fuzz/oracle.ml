@@ -91,6 +91,10 @@ let launch_in w ~max_steps ~mech items =
     ignore (K23.offline_run w ~path:target_path ());
     K23.seal_logs w
   end;
+  (* the offline phase consumed app syscalls that a native run never
+     makes: rewind the fault schedule so every mechanism's measured
+     run starts it from tick 0 *)
+  Kern.fault_reset w;
   let t = Kern.ktrace_enable w in
   match Mech.launch mech w ~path:target_path () with
   | Error e -> Error e

@@ -98,6 +98,15 @@ and thread = {
   mutable sud : sud_state option;
   mutable frames : sigframe list;
   mutable pending : (int * int array) option;  (** blocked syscall to retry *)
+  mutable sc_site : int;  (** address of the syscall insn now dispatching *)
+  mutable fault_key : int;  (** fault-schedule key of the in-flight call; 0 = none *)
+  mutable fault_retry : bool;  (** re-dispatch of a parked call: don't re-tick *)
+  mutable fault_restart : bool;  (** re-execution of a restarted call: don't re-tick *)
+  fault_divq : int Queue.t;
+      (** syscall numbers diverted to the interposer (SUD/seccomp-trap)
+          whose re-issue from interposer code must tick the schedule as
+          the application call it stands for — FIFO, mirroring the
+          oracle projection's attempt-matching *)
 }
 
 and fdesc =
@@ -201,6 +210,14 @@ and world = {
           single match on this field, so nothing is allocated or
           recorded.  Enable with {!ktrace_enable}. *)
   ktrace_last_tid : int array;  (** per-core last-run tid, for sched-switch events *)
+  mutable faults : K23_faults.Faults.plan option;
+      (** the fault-injection plane.  [None] (the default) is the
+          zero-overhead mode, same discipline as [ktrace]: every
+          injection site is guarded by a single match on this field.
+          Set from {!World.Config.faults} by [World.wire]. *)
+  fault_ticks : (int, int) Hashtbl.t;
+      (** nr -> count of fault-eligible dispatches so far; the
+          schedule's per-nr clock *)
 }
 
 exception Would_block of { why : string; ready : unit -> bool; deadline : int option }
@@ -254,6 +271,8 @@ let create_world ?(ncores = 12) ?(quantum = 64) ?(seed = 23) ?(aslr = true)
     sud_ever_armed = false;
     ktrace = None;
     ktrace_last_tid = Array.make ncores (-1);
+    faults = None;
+    fault_ticks = Hashtbl.create 16;
   }
 
 let register_library w (im : image) =
@@ -348,6 +367,11 @@ let new_thread w (p : proc) =
       sud = None;
       frames = [];
       pending = None;
+      sc_site = 0;
+      fault_key = 0;
+      fault_retry = false;
+      fault_restart = false;
+      fault_divq = Queue.create ();
     }
   in
   p.threads <- p.threads @ [ th ];
@@ -606,6 +630,27 @@ let deliver_signal (w : world) (th : thread) ~signo ~sysno ~site ~args =
   match Hashtbl.find_opt p.sig_handlers signo with
   | None -> kill_proc p ~signal:signo
   | Some handler_addr ->
+    (* A signal wakes a thread parked in a blocking syscall before its
+       deadline: the wait is torn down and completes with -EINTR {e
+       now}, so the frame saved below restores to "syscall returned
+       EINTR" when the handler sigreturns.  (Before this, a parked
+       thread slept through signals until its ready/deadline fired —
+       the latent bug test_faults pins.) *)
+    (match th.state with
+    | Blocked _ ->
+      th.state <- Runnable;
+      (match th.pending with
+      | Some (pnr, _) ->
+        th.pending <- None;
+        th.fault_key <- 0;
+        Regs.set th.regs RAX (-Errno.eintr);
+        (match w.ktrace with
+        | None -> ()
+        | Some t ->
+          K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:p.pid ~tid:th.tid
+            (K23_obs.Event.Syscall_exit { nr = pnr; ret = -Errno.eintr }))
+      | None -> ())
+    | Runnable | Dead -> ());
     (* Signal delivery serialises against the rest of the thread group
        (sighand lock, task-list walks): in multi-threaded processes the
        per-delivery cost grows with the number of live threads.  This
@@ -640,6 +685,96 @@ let do_sigreturn (w : world) (th : thread) =
       K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
         (K23_obs.Event.Sigreturn { depth = List.length rest }));
     Regs.restore th.regs ~from:frame.fr_regs
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection plane (DESIGN.md §4i)                               *)
+
+module Faults = K23_faults.Faults
+
+(** The syscalls the fault schedule ever considers.  Everything else
+    (getpid, prctl, the mechanisms' housekeeping...) never ticks the
+    per-nr clock, so a mechanism's extra calls cannot skew the
+    schedule relative to a native run. *)
+let faultable nr =
+  nr = Sysno.read || nr = Sysno.write || nr = Sysno.mmap || nr = Sysno.nanosleep
+  || nr = Sysno.socket || nr = Sysno.connect || nr = Sysno.accept || nr = Sysno.sendto
+  || nr = Sysno.recvfrom || nr = Sysno.wait4 || nr = Sysno.open_ || nr = Sysno.openat
+  || nr = Sysno.dup
+
+let is_rw nr = nr = Sysno.read || nr = Sysno.write || nr = Sysno.sendto || nr = Sysno.recvfrom
+
+(** Forget all fault-schedule progress: per-nr ticks and per-thread
+    in-flight state.  {!K23_fuzz.Oracle} calls this between K23's
+    offline phase and the measured launch, so native and mechanism
+    runs start the schedule from tick 0 (the offline phase consumes
+    app syscalls a native run never makes). *)
+let fault_reset (w : world) =
+  Hashtbl.reset w.fault_ticks;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun th ->
+          th.fault_key <- 0;
+          th.fault_retry <- false;
+          th.fault_restart <- false;
+          Queue.clear th.fault_divq)
+        p.threads)
+    w.procs
+
+let fault_event (w : world) (th : thread) ~nr ~kind =
+  ktrace_count w th.t_proc "fault.inject";
+  match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
+      (K23_obs.Event.Fault_injected { nr; site = th.sc_site; kind })
+
+(** Advance the fault schedule for one dispatch of [nr]; returns true
+    when this dispatch is a {e logically new, fault-eligible}
+    application call (a fresh arm).  The schedule's alignment contract
+    — native and every mechanism roll the same dice for the same
+    logical call — rests on which dispatches tick:
+    - retries of a parked call ([fault_retry]) and restarted
+      re-executions ([fault_restart]) reuse the in-flight key;
+    - interposer-owner dispatches tick only when they re-issue a
+      diverted application call (FIFO head of [fault_divq] — the
+      kernel-side mirror of the oracle projection's attempt matching);
+      interposer housekeeping never ticks;
+    - ld.so/vdso-owner dispatches never tick (the oracle projection
+      drops those owners). *)
+let fault_arm (w : world) (th : thread) ~nr =
+  match w.faults with
+  | None -> false
+  | Some plan ->
+    if th.fault_restart then begin
+      th.fault_restart <- false;
+      false
+    end
+    else if th.fault_retry then begin
+      th.fault_retry <- false;
+      false
+    end
+    else begin
+      th.fault_key <- 0;
+      (if faultable nr then
+         let eligible =
+           match region_owner th.t_proc th.sc_site with
+           | Interposer -> (
+             match Queue.peek_opt th.fault_divq with
+             | Some n when n = nr ->
+               ignore (Queue.pop th.fault_divq);
+               true
+             | _ -> false)
+           | Ldso | Vdso -> false
+           | App | Libc | Trampoline | Lib _ | Anon | Stack -> true
+         in
+         if eligible then begin
+           let tick = Option.value ~default:0 (Hashtbl.find_opt w.fault_ticks nr) in
+           Hashtbl.replace w.fault_ticks nr (tick + 1);
+           th.fault_key <- Faults.key plan ~nr ~tick
+         end);
+      th.fault_key <> 0
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Syscall entry                                                       *)
@@ -716,43 +851,95 @@ let exec_syscall (w : world) (th : thread) ~nr ~args =
   | None -> panic "no syscall implementation installed"
   | Some f -> f { world = w; thread = th } ~nr ~args
 
-(** Complete a syscall: run the implementation (handling blocking),
-    store the result, fire the ptrace exit stop. *)
-let finish_syscall (w : world) (th : thread) ~nr ~args =
-  match exec_syscall w th ~nr ~args with
-  | ret ->
-    (* implementations that rewrite the register file (rt_sigreturn,
-       execve) return the post-rewrite rax, making this a no-op *)
-    Regs.set th.regs RAX ret;
+(* The completion half of a syscall: store the result, emit the exit
+   event, fire the ptrace exit stop.  Shared by the normal path and
+   the fault plane's hard-EINTR injection. *)
+let complete_syscall (w : world) (th : thread) ~nr ~ret =
+  (* implementations that rewrite the register file (rt_sigreturn,
+     execve) return the post-rewrite rax, making this a no-op *)
+  Regs.set th.regs RAX ret;
+  (match w.ktrace with
+  | None -> ()
+  | Some t ->
+    K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
+      (K23_obs.Event.Syscall_exit { nr; ret }));
+  match th.t_proc.tracer with
+  | Some tr when tr.tr_trace_syscalls && not (proc_dead th.t_proc) ->
+    charge w th w.cost.ptrace_stop;
+    ktrace_count w th.t_proc "ptrace.stop";
     (match w.ktrace with
     | None -> ()
     | Some t ->
       K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
-        (K23_obs.Event.Syscall_exit { nr; ret }));
-    (match th.t_proc.tracer with
-    | Some tr when tr.tr_trace_syscalls && not (proc_dead th.t_proc) ->
-      charge w th w.cost.ptrace_stop;
-      ktrace_count w th.t_proc "ptrace.stop";
-      (match w.ktrace with
-      | None -> ()
-      | Some t ->
-        K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid ~tid:th.tid
-          (K23_obs.Event.Ptrace_stop { kind = Exit; nr }));
-      (match tr.tr_on_exit with
-      | Some f -> f { world = w; thread = th } ~nr ~ret
-      | None -> ())
-    | _ -> ());
+        (K23_obs.Event.Ptrace_stop { kind = Exit; nr }));
+    (match tr.tr_on_exit with
+    | Some f -> f { world = w; thread = th } ~nr ~ret
+    | None -> ())
+  | _ -> ()
+
+(** Complete a syscall: run the implementation (handling blocking),
+    store the result, fire the ptrace exit stop. *)
+let finish_syscall (w : world) (th : thread) ~nr ~args =
+  (* fault plane: tick the schedule on logically-new eligible calls,
+     and truncate fresh reads/writes chosen for short I/O (mutating
+     [args] keeps retries of a parked call consistently truncated) *)
+  let fresh = fault_arm w th ~nr in
+  (match w.faults with
+  | Some plan
+    when fresh && is_rw nr && args.(2) > 1 && Faults.roll_short plan ~key:th.fault_key ->
+    fault_event w th ~nr ~kind:"short";
+    args.(2) <- Faults.short_len ~key:th.fault_key args.(2)
+  | _ -> ());
+  match exec_syscall w th ~nr ~args with
+  | ret ->
+    complete_syscall w th ~nr ~ret;
     true
-  | exception Would_block { why; ready; deadline } ->
-    th.state <- Blocked { why; ready; deadline };
-    th.pending <- Some (nr, args);
-    false
+  | exception Would_block { why; ready; deadline } -> (
+    (* delivery point: a blocking wait is where a pending signal would
+       interrupt the call.  The schedule either completes it with a
+       visible -EINTR, or restarts it ERESTARTSYS-style: rip rewinds
+       to the syscall instruction, so the very next step re-executes
+       it from scratch — re-entering the interposer under SUD/seccomp
+       diversion and re-stopping the tracer under ptrace (the paper's
+       P4 shadow).  wait4 only ever restarts: a visible EINTR there
+       would reorder fork-join programs by mechanism timing. *)
+    let injected =
+      match w.faults with
+      | Some plan when th.fault_key <> 0 && Faults.roll_eintr plan ~key:th.fault_key ->
+        let key = th.fault_key in
+        th.fault_key <- 0;
+        if nr <> Sysno.wait4 && Faults.flip ~key then begin
+          fault_event w th ~nr ~kind:"eintr";
+          complete_syscall w th ~nr ~ret:(-Errno.eintr);
+          true
+        end
+        else begin
+          ktrace_count w th.t_proc "fault.restart";
+          (match w.ktrace with
+          | None -> ()
+          | Some t ->
+            K23_obs.Trace.emit t ~cycles:w.core_cycles.(th.core) ~pid:th.t_proc.pid
+              ~tid:th.tid (K23_obs.Event.Syscall_restarted { nr; site = th.sc_site }));
+          th.fault_restart <- true;
+          th.regs.rip <- th.sc_site;
+          true
+        end
+      | _ -> false
+    in
+    injected
+    ||
+    begin
+      th.state <- Blocked { why; ready; deadline };
+      th.pending <- Some (nr, args);
+      false
+    end)
 
 (** Kernel entry for a trapping [syscall]/[sysenter] instruction. *)
 let handle_syscall (w : world) (th : thread) ~site =
   let p = th.t_proc in
   let nr = Regs.get th.regs RAX in
   let args = syscall_args th in
+  th.sc_site <- site;
   (* SUD: divert to SIGSYS when armed, outside the allowlisted range
      and with the selector set to BLOCK. *)
   if sud_blocks th ~site then begin
@@ -761,6 +948,9 @@ let handle_syscall (w : world) (th : thread) ~site =
     p.counters.c_sigsys <- p.counters.c_sigsys + 1;
     ktrace_count w p "sigsys";
     ktrace_count w p "sud.block";
+    (* the diverted attempt's re-issue from interposer code must tick
+       the fault schedule as the application call it stands for *)
+    if w.faults <> None && faultable nr then Queue.push nr th.fault_divq;
     (match w.ktrace with
     | None -> ()
     | Some t ->
@@ -807,6 +997,7 @@ let handle_syscall (w : world) (th : thread) ~site =
     | Bpf.Trap ->
       p.counters.c_sigsys <- p.counters.c_sigsys + 1;
       ktrace_count w p "sigsys";
+      if w.faults <> None && faultable nr then Queue.push nr th.fault_divq;
       if Hashtbl.mem p.sig_handlers sigsys then
         deliver_signal w th ~signo:sigsys ~sysno:nr ~site ~args
       else kill_proc p ~signal:sigsys
@@ -961,6 +1152,9 @@ let run_slice (w : world) (th : thread) =
   (match th.pending with
   | Some (nr, args) when th.state = Runnable ->
     th.pending <- None;
+    (* a retry of the parked call, not a new one: keep its fault key
+       and don't tick the schedule again *)
+    if w.faults <> None then th.fault_retry <- true;
     if not (finish_syscall w th ~nr ~args) then () (* re-blocked *)
   | _ -> ());
   let budget = ref w.quantum in

@@ -377,9 +377,52 @@ let do_prctl (w : world) (th : thread) args =
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 
+(* Errno-storm half of the fault plane (DESIGN.md §4i): rolled before
+   the implementation runs — and before any availability check — so a
+   decision can never depend on mechanism-relative timing.  Only
+   consults the key armed by {!Kern.fault_arm}, so a retry of a parked
+   call replays the first dispatch's (negative) decisions instead of
+   rolling new dice. *)
+let fault_errno (w : world) (th : thread) (p : proc) ~nr ~args =
+  match w.faults with
+  | None -> None
+  | Some plan ->
+    let key = th.fault_key in
+    if key = 0 then None
+    else
+      let inject kind e =
+        fault_event w th ~nr ~kind;
+        th.fault_key <- 0;
+        Some (Errno.ret e)
+      in
+      if nr = Sysno.mmap then
+        if Faults.roll_enomem plan ~key then inject "enomem" Errno.enomem else None
+      else if
+        nr = Sysno.socket || nr = Sysno.open_ || nr = Sysno.openat || nr = Sysno.dup
+        || nr = Sysno.accept
+      then
+        if Faults.roll_emfile plan ~key then
+          if Faults.flip ~key then inject "emfile" Errno.emfile else inject "enfile" Errno.enfile
+        else if nr = Sysno.accept && Faults.roll_eagain plan ~key then
+          inject "eagain" Errno.eagain
+        else None
+      else if nr = Sysno.connect then
+        if Faults.roll_reset plan ~key then inject "reset" Errno.econnreset else None
+      else if is_rw nr then (
+        match Hashtbl.find_opt p.fds args.(0) with
+        | Some (Fd_conn _) ->
+          if Faults.roll_reset plan ~key then inject "reset" Errno.econnreset
+          else if Faults.roll_eagain plan ~key then inject "eagain" Errno.eagain
+          else None
+        | _ -> None)
+      else None
+
 let dispatch (ctx : ctx) ~nr ~args : int =
   let w = ctx.world and th = ctx.thread in
   let p = th.t_proc in
+  match fault_errno w th p ~nr ~args with
+  | Some ret -> ret
+  | None -> (
   match nr with
   | n when n = Sysno.read -> do_read w th args.(0) args.(1) args.(2)
   | n when n = Sysno.write -> do_write w th args.(0) args.(1) args.(2)
@@ -557,9 +600,23 @@ let dispatch (ctx : ctx) ~nr ~args : int =
   | n when n = Sysno.wait4 -> do_wait4 w th ~pid_sel:args.(0) ~status_ptr:args.(1)
   | n when n = Sysno.kill -> (
     match List.find_opt (fun q -> q.pid = args.(0)) w.procs with
-    | Some q ->
-      kill_proc q ~signal:args.(1);
-      0
+    | Some q -> (
+      let signo = args.(1) in
+      (* a registered handler catches the signal instead of dying; the
+         delivery wakes a thread parked in a blocking syscall with
+         -EINTR before its deadline (the signal-wake contract
+         test_faults pins) *)
+      match
+        if Hashtbl.mem q.sig_handlers signo then
+          List.find_opt (fun t -> t.state <> Dead) q.threads
+        else None
+      with
+      | Some target ->
+        deliver_signal w target ~signo ~sysno:0 ~site:0 ~args:[||];
+        0
+      | None ->
+        kill_proc q ~signal:signo;
+        0)
     | None -> Errno.ret Errno.esrch)
   | n when n = Sysno.getcwd -> (
     try
@@ -655,4 +712,4 @@ let dispatch (ctx : ctx) ~nr ~args : int =
     (* unknown / non-existent syscalls, including the microbenchmark's
        syscall 500 and K23's fake syscalls when no tracer intercepts
        them: ENOSYS, as on Linux *)
-    Errno.ret Errno.enosys
+    Errno.ret Errno.enosys)

@@ -21,6 +21,7 @@ module Config = struct
     cost : K23_machine.Cost.model;
     ktrace : bool;  (** enable the ktrace ring at creation *)
     predecode : bool;  (** per-line decode memo in every I-cache *)
+    faults : K23_faults.Faults.plan;  (** fault-injection schedule; {!K23_faults.Faults.none} = off *)
   }
 
   let default =
@@ -32,14 +33,15 @@ module Config = struct
       cost = K23_machine.Cost.default;
       ktrace = false;
       predecode = true;
+      faults = K23_faults.Faults.none;
     }
 
   (** [default] with the given fields overridden — the bridge from the
       optional-argument world constructors. *)
   let make ?(ncores = default.ncores) ?(quantum = default.quantum) ?(seed = default.seed)
       ?(aslr = default.aslr) ?(cost = default.cost) ?(ktrace = default.ktrace)
-      ?(predecode = default.predecode) () =
-    { ncores; quantum; seed; aslr; cost; ktrace; predecode }
+      ?(predecode = default.predecode) ?(faults = default.faults) () =
+    { ncores; quantum; seed; aslr; cost; ktrace; predecode; faults }
 
   (* every field is immutable ints/bools, so structural equality and
      the polymorphic hash are exact *)
@@ -52,9 +54,10 @@ module Config = struct
     let m = c.cost in
     Printf.sprintf
       "ncores=%d quantum=%d seed=%d aslr=%b ktrace=%b predecode=%b \
-       cost=%d,%d,%d,%d,%d,%d,%d,%d"
+       cost=%d,%d,%d,%d,%d,%d,%d,%d %s"
       c.ncores c.quantum c.seed c.aslr c.ktrace c.predecode m.insn m.nop m.syscall_base
       m.sud_armed_extra m.sigsys_delivery m.sigreturn_extra m.ptrace_stop m.ptrace_mem_op
+      (K23_faults.Faults.to_string c.faults)
 end
 
 (* The wiring shared by {!create_cfg} and {!reset}: dispatch hooks,
@@ -71,6 +74,8 @@ let wire (w : world) (cfg : Config.t) =
     [ "/bin"; "/usr/lib"; "/etc"; "/tmp"; "/home/user"; "/k23" ];
   ignore (Vfs.write_file w.vfs "/etc/ld.so.cache" "ld.so cache\n");
   ignore (Vfs.write_file w.vfs "/etc/hostname" "sim\n");
+  w.faults <- (if K23_faults.Faults.enabled cfg.faults then Some cfg.faults else None);
+  Hashtbl.reset w.fault_ticks;
   if cfg.ktrace then ignore (ktrace_enable w)
 
 (** Create a fully wired world from a {!Config.t}: syscall dispatch,

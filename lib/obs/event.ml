@@ -37,6 +37,15 @@ type payload =
   | Req_recv of { conn : int; req : int }
       (** the matching response fully received (framed read complete);
           latency = this event's cycle stamp - the pair's [sched] *)
+  | Fault_injected of { nr : int; site : int; kind : string }
+      (** the fault plane fired on this syscall; [kind] names the
+          channel ("eintr", "short", "eagain", "emfile", "enfile",
+          "enomem", "reset") *)
+  | Syscall_restarted of { nr : int; site : int }
+      (** ERESTARTSYS-style restart: the blocked call was torn down and
+          rip rewound to the syscall instruction, so the very next
+          kernel entry of this thread re-executes it — through the
+          interposer again, under interposition *)
   | Annot of string  (** free-form tag (mechanism launches use "mech:...") *)
 
 type t = {
@@ -67,6 +76,8 @@ let kind = function
   | Sched_switch _ -> "sched_switch"
   | Req_send _ -> "req_send"
   | Req_recv _ -> "req_recv"
+  | Fault_injected _ -> "fault_injected"
+  | Syscall_restarted _ -> "syscall_restarted"
   | Annot _ -> "annot"
 
 (** Structural equality (int arrays compared element-wise). *)

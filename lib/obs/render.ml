@@ -47,6 +47,10 @@ let human_payload ?(namer = default_namer) ~pid ~tid payload =
   | Req_send { conn; req; sched } ->
     Printf.sprintf "[pid %d tid %d] req %d -> fd %d (sched %d)" pid tid req conn sched
   | Req_recv { conn; req } -> Printf.sprintf "[pid %d tid %d] req %d <- fd %d" pid tid req conn
+  | Fault_injected { nr; site; kind } ->
+    Printf.sprintf "[pid %d tid %d] fault-inject %s %s @%x" pid tid kind (namer nr) site
+  | Syscall_restarted { nr; site } ->
+    Printf.sprintf "[pid %d tid %d] restart %s @%x" pid tid (namer nr) site
   | Annot s -> Printf.sprintf "# %s" s
 
 let human_event ?namer (e : t) =
@@ -105,6 +109,10 @@ let json_fields ?(namer = default_namer) payload =
   | Req_send { conn; req; sched } ->
     [ kv_int "conn" conn; kv_int "req" req; kv_int "sched" sched ]
   | Req_recv { conn; req } -> [ kv_int "conn" conn; kv_int "req" req ]
+  | Fault_injected { nr; site; kind } ->
+    [ kv_int "nr" nr; kv_str "name" (namer nr); kv_int "site" site; kv_str "kind" kind ]
+  | Syscall_restarted { nr; site } ->
+    [ kv_int "nr" nr; kv_str "name" (namer nr); kv_int "site" site ]
   | Annot s -> [ kv_str "text" s ]
 
 let json_event ?namer (e : t) =

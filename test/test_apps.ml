@@ -176,6 +176,7 @@ let test_dribbling_server_framing () =
       req_cost = 300;
       resp_len = 64;
       arrival = Apps.Wrk.Closed;
+      retries = 0;
     }
   in
   let results = Apps.Wrk.register w client in

@@ -111,6 +111,7 @@ let test_corpus_roundtrip () =
       Corpus.e_mech = Mech.Zpoline_default;
       e_seed = 7;
       e_expect = "pid 0 record 1: native=a mech=b";
+      e_faults = Some (K23_faults.Faults.chaos ~fseed:41 ());
       e_items = prog.Gen.items;
     }
   in
@@ -120,7 +121,8 @@ let test_corpus_roundtrip () =
   Alcotest.(check int) "seed round-trips" e.Corpus.e_seed e'.Corpus.e_seed;
   Alcotest.(check string) "mech round-trips"
     (Mech.to_string e.Corpus.e_mech)
-    (Mech.to_string e'.Corpus.e_mech)
+    (Mech.to_string e'.Corpus.e_mech);
+  Alcotest.(check bool) "fault plan round-trips" true (e.Corpus.e_faults = e'.Corpus.e_faults)
 
 (* every checked-in repro still reproduces its divergence, and stays
    within the minimality budget *)
@@ -133,7 +135,12 @@ let test_corpus_replay () =
         (Printf.sprintf "%s: <= 16 insns" name)
         true
         (Gen.insn_count e.Corpus.e_items <= 16);
-      match Oracle.diverges ~mech:e.Corpus.e_mech e.Corpus.e_items with
+      let cfg =
+        Option.map
+          (fun p -> { Oracle.default_world_cfg with K23_kernel.World.Config.faults = p })
+          e.Corpus.e_faults
+      in
+      match Oracle.diverges ?cfg ~mech:e.Corpus.e_mech e.Corpus.e_items with
       | Some _ -> ()
       | None -> Alcotest.failf "%s: divergence no longer reproduces" name)
     entries

@@ -94,6 +94,28 @@ let test_campaign_determinism_and_tails () =
       (sud.Load.r_p50 >= native.Load.r_p50)
   | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
 
+(* the chaos row: same determinism contract with the fault plane armed,
+   plus the resilience contract -- retries absorb the injected noise, so
+   requests still complete and the JSON says which plan was in force *)
+let test_chaos_row_determinism () =
+  let specs = [ Load.uniform Load.Web Mech.Native; Load.uniform Load.Web Mech.Sud ] in
+  let faults = K23_faults.Faults.chaos () in
+  let run jobs = Load.campaign ~quick:true ~jobs ~runs:1 ~requests:64 ~specs ~faults () in
+  let r1 = run 1 in
+  let r4 = run 4 in
+  Alcotest.(check string) "chaos render_json byte-identical across --jobs"
+    (Load.render_json r1) (Load.render_json r4);
+  Alcotest.(check (option string)) "plan recorded in the report"
+    (Some (K23_faults.Faults.to_string faults))
+    r1.Load.rep_faults;
+  match r1.Load.rep_rows with
+  | [ native; sud ] ->
+    Alcotest.(check int) "native: storm absorbed, all requests complete" (2 * 64)
+      native.Load.r_samples;
+    Alcotest.(check int) "native: no errors" 0 native.Load.r_errors;
+    Alcotest.(check int) "sud: no errors" 0 sud.Load.r_errors
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
 let tests =
   ( "load campaign",
     [
@@ -101,4 +123,6 @@ let tests =
       Alcotest.test_case "histogram sanity" `Quick test_hist_sanity;
       Alcotest.test_case "campaign --jobs determinism + tail physics" `Quick
         test_campaign_determinism_and_tails;
+      Alcotest.test_case "chaos row --jobs determinism + resilience" `Quick
+        test_chaos_row_determinism;
     ] )

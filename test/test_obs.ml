@@ -105,6 +105,7 @@ let test_req_event_pairing () =
       req_cost = 300;
       resp_len = K23_apps.Webserver.header_len;
       arrival = K23_apps.Wrk.Open { rate = 200_000; requests; seed = 42 };
+      retries = 0;
     }
   in
   let results = K23_apps.Wrk.register w ccfg in
