@@ -7,8 +7,8 @@
      dune exec bench/main.exe -- --quick table5 table6   # fewer runs
 
    Experiments: table2 table3 fig3 table5 table6 startup memory
-   ablation simperf ktrace fuzz parfuzz table6-load table6-chaos.  EXPERIMENTS.md records the
-   paper-vs-measured comparison in full.
+   ablation simperf ktrace fuzz parfuzz replay table6-load table6-chaos.
+   EXPERIMENTS.md records the paper-vs-measured comparison in full.
 
    --jobs N shards the embarrassingly-parallel sweeps (table5, table6,
    fuzz, parfuzz) across N domains via K23_par; every table is
@@ -282,6 +282,160 @@ let parfuzz ~quick ~repeat ~check ~jobs ?json () =
     print_endline "parfuzz --check: ok"
   end
 
+(* Record & replay (lib/replay): what recording costs on top of a
+   plain run / a ktrace-ring run, how fast the replayer re-drives and
+   checks a log, and whether the replay-checked fuzz oracle keeps up
+   with the live one while rendering the identical report.  All
+   wall-clock medians (drop-one-min/one-max), written to
+   BENCH_replay.json with --json. *)
+let replay_bench ~quick ?json () =
+  let module R = K23_replay in
+  let module F = K23_fuzz in
+  section "replay - record overhead, replay-check throughput, oracle parity";
+  let reps = if quick then 3 else 7 in
+  (* single ls runs are ~3ms; batch them so each timed sample is tens
+     of ms and scheduler noise stops dominating the overhead ratio *)
+  let batch = if quick then 5 else 20 in
+  let register w = K23_apps.Coreutils.register_all w in
+  let median_of ?(n = 1) f =
+    let samples =
+      List.init reps (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to n do
+            f ()
+          done;
+          (Unix.gettimeofday () -. t0) /. float_of_int n)
+    in
+    K23_util.Stats.median (K23_util.Stats.drop_outliers samples)
+  in
+  let apps = [ ("ls", Mech.Zpoline_ultra); ("ls", Mech.K23_ultra) ] in
+  (* A. record overhead: plain run vs bounded ktrace ring vs full
+     recording (unbounded sink + log assembly) *)
+  let setup mech path =
+    let w = K23_userland.Sim.create_world () in
+    register w;
+    if Mech.needs_offline mech then begin
+      ignore (K23_core.K23.offline_run w ~path ());
+      K23_core.K23.seal_logs w
+    end;
+    K23_kernel.Kern.fault_reset w;
+    w
+  in
+  let run_in w mech path =
+    match Mech.launch mech w ~path () with
+    | Error e -> failwith (Printf.sprintf "replay bench: launch failed (%d)" e)
+    | Ok (p, _) -> K23_kernel.World.run_until_exit w p
+  in
+  Printf.printf "record overhead (%d reps, median):\n" reps;
+  Printf.printf "  %-6s %-16s %8s %10s %10s %10s %9s\n" "app" "mech" "events" "plain_s"
+    "ktrace_s" "record_s" "overhead";
+  let record_rows =
+    List.map
+      (fun (app, mech) ->
+        let path = K23_apps.Coreutils.path app in
+        let plain_s = median_of ~n:batch (fun () -> run_in (setup mech path) mech path) in
+        let ktrace_s =
+          median_of ~n:batch (fun () ->
+              let w = setup mech path in
+              ignore (K23_kernel.Kern.ktrace_enable w);
+              run_in w mech path)
+        in
+        let rc = ref None in
+        let record_s =
+          median_of ~n:batch (fun () ->
+              match R.Recorder.record ~register ~mech ~path () with
+              | Error e -> failwith (Printf.sprintf "replay bench: record failed (%d)" e)
+              | Ok r -> rc := Some r)
+        in
+        let r = Option.get !rc in
+        let events = List.length r.R.Recording.rc_events in
+        Printf.printf "  %-6s %-16s %8d %10.4f %10.4f %10.4f %8.2fx\n" app
+          (Mech.to_string mech) events plain_s ktrace_s record_s (record_s /. plain_s);
+        (app, mech, events, plain_s, ktrace_s, record_s, r))
+      apps
+  in
+  (* B. replay-check throughput: re-drive + diff every event *)
+  Printf.printf "\nreplay check (%d reps, median):\n" reps;
+  Printf.printf "  %-6s %-16s %10s %14s %12s\n" "app" "mech" "replay_s" "events/sec"
+    "vs record";
+  let replay_rows =
+    List.map
+      (fun (app, mech, events, _, _, record_s, r) ->
+        let replay_s =
+          median_of ~n:batch (fun () ->
+              match R.Replayer.replay ~register r with
+              | Error e -> failwith (Printf.sprintf "replay bench: replay failed (%d)" e)
+              | Ok o ->
+                if not (R.Replayer.ok o) then failwith "replay bench: replay diverged")
+        in
+        Printf.printf "  %-6s %-16s %10.4f %14.0f %11.2fx\n" app (Mech.to_string mech)
+          replay_s
+          (float_of_int events /. replay_s)
+          (record_s /. replay_s);
+        (app, mech, events, replay_s, record_s))
+      record_rows
+  in
+  (* C. oracle parity: live vs replay-checked campaign, same report *)
+  let iters = if quick then 30 else 100 in
+  let live_cfg = { F.Campaign.default_config with c_iters = iters } in
+  let replay_cfg = { live_cfg with F.Campaign.c_oracle = F.Campaign.Replay } in
+  let out = ref None in
+  let time_campaign cfg =
+    median_of (fun () -> out := Some (F.Campaign.run ~jobs:1 cfg))
+  in
+  let live_s = time_campaign live_cfg in
+  let live_json = F.Campaign.render_json (Option.get !out) in
+  let replay_s = time_campaign replay_cfg in
+  let replay_json = F.Campaign.render_json (Option.get !out) in
+  let identical = live_json = replay_json in
+  let runs = (Option.get !out).F.Campaign.r_runs in
+  Printf.printf "\nfuzz oracle (%d iters, %d oracle runs, jobs=1):\n" iters runs;
+  Printf.printf "  live:   %7.2fs (%.0f execs/sec)\n" live_s (float_of_int runs /. live_s);
+  Printf.printf "  replay: %7.2fs (%.0f execs/sec)\n" replay_s
+    (float_of_int runs /. replay_s);
+  Printf.printf "  reports byte-identical: %b\n" identical;
+  if not identical then failwith "replay bench: live and replay oracle reports differ";
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"experiment\": \"replay\",\n\
+      \  \"reps\": %d,\n\
+      \  \"record\": [\n%s\n  ],\n\
+      \  \"replay\": [\n%s\n  ],\n\
+      \  \"oracle\": {\"iters\": %d, \"oracle_runs\": %d, \"live_s\": %.3f, \
+       \"replay_s\": %.3f, \"live_execs_per_sec\": %.1f, \"replay_execs_per_sec\": %.1f, \
+       \"reports_identical\": %b}\n\
+       }\n"
+      reps
+      (String.concat ",\n"
+         (List.map
+            (fun (app, mech, events, plain_s, ktrace_s, record_s, _) ->
+              Printf.sprintf
+                "    {\"app\": \"%s\", \"mech\": \"%s\", \"events\": %d, \"plain_s\": %.4f, \
+                 \"ktrace_s\": %.4f, \"record_s\": %.4f, \"record_overhead\": %.3f}"
+                app (Mech.to_string mech) events plain_s ktrace_s record_s
+                (record_s /. plain_s))
+            record_rows))
+      (String.concat ",\n"
+         (List.map
+            (fun (app, mech, events, replay_s, record_s) ->
+              Printf.sprintf
+                "    {\"app\": \"%s\", \"mech\": \"%s\", \"events\": %d, \"replay_s\": %.4f, \
+                 \"events_per_sec\": %.1f, \"replay_vs_record\": %.3f}"
+                app (Mech.to_string mech) events replay_s
+                (float_of_int events /. replay_s)
+                (record_s /. replay_s))
+            replay_rows))
+      iters runs live_s replay_s
+      (float_of_int runs /. live_s)
+      (float_of_int runs /. replay_s)
+      identical;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
@@ -357,6 +511,7 @@ let () =
       | "ktrace" -> ktrace ~quick ()
       | "fuzz" -> fuzz ~quick ~jobs ()
       | "parfuzz" -> parfuzz ~quick ~repeat ~check ~jobs ?json:(json_or "BENCH_parfuzz.json") ()
+      | "replay" -> replay_bench ~quick ?json:(json_or "BENCH_replay.json") ()
       | "table6-load" ->
         table6_load ~quick
           ~jobs:(Option.value jobs ~default:1)

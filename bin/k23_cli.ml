@@ -3,6 +3,8 @@
    Subcommands:
      k23 run <app> [--under MECH]     run a bundled app under an interposer
      k23 trace <app>                  strace-style listing via K23
+     k23 record <app> --mech M -o F   record a run's full ktrace log to F
+     k23 replay F [--at N]            re-drive a recording, diff every event
      k23 offline <app>                run the offline phase, print the log
      k23 pitfalls                     run the PoCs, print Table 3
      k23 fuzz [--jobs N]              differential conformance fuzzing
@@ -105,10 +107,19 @@ let trace_cmd =
       & info [ "seed" ] ~docv:"SEED"
           ~doc:"World RNG seed; two runs with the same seed produce byte-identical streams.")
   in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:
+            "Print only the first N events of the stream (human and JSON); the footer still \
+             reports the full event count.")
+  in
   (* Structured path: run [app] under [mech] with the ktrace ring
      enabled (after K23's offline phase, so the stream covers the
      online run) and render the events human- or JSON-style. *)
-  let run_ktrace ~mech ~json ~seed path =
+  let run_ktrace ~mech ~json ~seed ~limit path =
     let w = Sim.create_world ?seed () in
     Apps.Coreutils.register_all w;
     if K23_eval.Mech.needs_offline mech then begin
@@ -121,15 +132,24 @@ let trace_cmd =
     | Ok (p, _stats) ->
       World.run_until_exit w p;
       let events = K23_obs.Trace.events t in
+      let total = List.length events in
+      let shown =
+        match limit with
+        | Some n when n >= 0 && n < total -> List.filteri (fun i _ -> i < n) events
+        | _ -> events
+      in
       if json then
         print_string
           (K23_obs.Render.json_stream ~namer:Sysno.name
              ~counters:(K23_obs.Counters.to_alist t.K23_obs.Trace.counters)
-             ~dropped:(K23_obs.Trace.dropped t) events)
+             ~dropped:(K23_obs.Trace.dropped t) shown)
       else begin
-        print_string (K23_obs.Render.human_stream ~namer:Sysno.name events);
-        Printf.printf "--- %d events (%d dropped)\n" (List.length events)
-          (K23_obs.Trace.dropped t)
+        print_string (K23_obs.Render.human_stream ~namer:Sysno.name shown);
+        if List.length shown < total then
+          Printf.printf "--- showing first %d of %d events (%d dropped)\n" (List.length shown)
+            total (K23_obs.Trace.dropped t)
+        else
+          Printf.printf "--- %d events (%d dropped)\n" total (K23_obs.Trace.dropped t)
       end
   in
   (* Legacy path: the exhaustive strace-style listing via a K23 inner
@@ -152,19 +172,118 @@ let trace_cmd =
       Printf.printf "--- %d syscalls (exhaustive: %b)\n" stats.interposed
         (stats.interposed = p.counters.c_app)
   in
-  let run app mech json seed =
+  let run app mech json seed limit =
     let path = resolve_app app in
-    match (mech, json) with
-    | None, false -> run_legacy path
-    | Some m, _ -> run_ktrace ~mech:m ~json ~seed path
-    | None, true -> run_ktrace ~mech:K23_eval.Mech.K23_default ~json ~seed path
+    match (mech, json, limit) with
+    | None, false, None -> run_legacy path
+    | Some m, _, _ -> run_ktrace ~mech:m ~json ~seed ~limit path
+    | None, _, _ -> run_ktrace ~mech:K23_eval.Mech.K23_default ~json ~seed ~limit path
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Syscall tracing: strace-style listing via K23 by default; with $(b,--mech) or \
-          $(b,--json), a structured ktrace event stream under any mechanism.")
-    Term.(const run $ app_arg $ mech_opt $ json $ seed)
+         "Syscall tracing: strace-style listing via K23 by default; with $(b,--mech), \
+          $(b,--json) or $(b,--limit), a structured ktrace event stream under any mechanism.")
+    Term.(const run $ app_arg $ mech_opt $ json $ seed $ limit)
+
+let record_cmd =
+  let module R = K23_replay in
+  let mech =
+    Arg.(
+      value
+      & opt mech_conv K23_eval.Mech.K23_ultra
+      & info [ "mech"; "m" ] ~docv:"MECH" ~doc:"Mechanism to record the run under.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Recording file to write (default: $(docv) is <app>.k23rec).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"World RNG seed baked into the recording.")
+  in
+  let run app mech out seed =
+    let path = resolve_app app in
+    let cfg =
+      match seed with
+      | None -> World.Config.default
+      | Some s -> { World.Config.default with World.Config.seed = s }
+    in
+    match
+      R.Recorder.record ~cfg ~register:(fun w -> Apps.Coreutils.register_all w) ~mech ~path ()
+    with
+    | Error e ->
+      Printf.eprintf "launch failed: %s\n" (Errno.to_string e);
+      Stdlib.exit 1
+    | Ok r ->
+      let out =
+        match out with Some o -> o | None -> Filename.basename path ^ ".k23rec"
+      in
+      R.Recording.save ~path:out r;
+      Printf.printf "recorded %s under %s: %d events, %s -> %s\n" path
+        (K23_eval.Mech.to_string mech)
+        (List.length r.R.Recording.rc_events)
+        (match List.assoc_opt r.R.Recording.rc_root r.R.Recording.rc_fates with
+        | Some f -> R.Recording.fate_to_string f
+        | None -> "?")
+        out
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Record a run: capture the complete ktrace event stream (unbounded sink — nothing is \
+          dropped) plus the world recipe into a replayable .k23rec file.")
+    Term.(const run $ app_arg $ mech $ out $ seed)
+
+let replay_cmd =
+  let module R = K23_replay in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Recording written by $(b,k23 record).")
+  in
+  let at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"N"
+          ~doc:
+            "Time travel: halt the replayed world the instant event N is emitted and dump the \
+             machine state (registers, memory map, fd table).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the replay verdict as JSON.") in
+  let run file at json =
+    let r =
+      try R.Recording.load file with
+      | R.Recording.Parse_error m ->
+        Printf.eprintf "%s: %s\n" file m;
+        Stdlib.exit 2
+      | Sys_error m ->
+        Printf.eprintf "%s\n" m;
+        Stdlib.exit 2
+    in
+    match R.Replayer.replay ?at ~register:(fun w -> Apps.Coreutils.register_all w) r with
+    | Error e ->
+      Printf.eprintf "launch failed: %s\n" (Errno.to_string e);
+      Stdlib.exit 1
+    | Ok o ->
+      if json then print_endline (R.Replayer.render_json r o)
+      else print_string (R.Replayer.render r o);
+      if not (R.Replayer.ok o) then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-drive a recorded run in a fresh world, substituting recorded syscall results and \
+          diffing the live event stream against the log; reports the first divergence with \
+          context.  Exit status 1 on divergence.")
+    Term.(const run $ file $ at $ json)
 
 let offline_cmd =
   let run app =
@@ -250,7 +369,27 @@ let fuzz_cmd =
             "Shard iterations across N domains.  The report (text or JSON) is byte-identical \
              for every N.")
   in
-  let run seed iters mech shapes minimize save json faults jobs =
+  let oracle =
+    let oracle_conv =
+      let parse s =
+        match F.Campaign.oracle_mode_of_string s with
+        | Some m -> Ok m
+        | None -> Error (`Msg (Printf.sprintf "unknown oracle mode %S (live or replay)" s))
+      in
+      Arg.conv
+        (parse, fun fmt m -> Format.pp_print_string fmt (F.Campaign.oracle_mode_to_string m))
+    in
+    Arg.(
+      value
+      & opt oracle_conv F.Campaign.Live
+      & info [ "oracle" ] ~docv:"MODE"
+          ~doc:
+            "Native-reference mode: $(b,live) projects the native run straight off its world; \
+             $(b,replay) records it once (lib/replay), round-trips the recording through the \
+             wire format and projects off the log.  Verdicts are identical either way — gated \
+             in runtest.")
+  in
+  let run seed iters mech shapes minimize save json faults jobs oracle =
     let shapes =
       match shapes with
       | None -> F.Gen.default_shapes
@@ -281,6 +420,7 @@ let fuzz_cmd =
         c_shapes = shapes;
         c_minimize = minimize;
         c_world = world;
+        c_oracle = oracle;
       }
     in
     let report = F.Campaign.run ~jobs config in
@@ -312,7 +452,8 @@ let fuzz_cmd =
          "Differential conformance fuzzing: run seeded adversarial programs natively and under \
           interposition mechanisms; any observable difference is a mechanism bug.  Exit status 1 \
           if divergences were found.")
-    Term.(const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json $ faults $ jobs)
+    Term.(
+      const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json $ faults $ jobs $ oracle)
 
 let bench_cmd =
   let module F = K23_fuzz in
@@ -375,4 +516,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; offline_cmd; pitfalls_cmd; fuzz_cmd; bench_cmd; apps_cmd ]))
+          [
+            run_cmd;
+            trace_cmd;
+            record_cmd;
+            replay_cmd;
+            offline_cmd;
+            pitfalls_cmd;
+            fuzz_cmd;
+            bench_cmd;
+            apps_cmd;
+          ]))

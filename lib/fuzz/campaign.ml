@@ -20,6 +20,23 @@ module Mech = K23_eval.Mech
 module Rng = K23_util.Rng
 module World = K23_kernel.World
 
+(** How the native reference column is produced.  [Live] runs it and
+    projects straight off the world; [Replay] records it once
+    (unbounded sink), round-trips the recording through the wire
+    format, and projects off the log — so every verdict the replay
+    oracle renders passed through serialise → parse.  Verdicts must
+    be identical either way (gated in runtest on a 200-iter
+    campaign); the mode is deliberately {e not} part of the report,
+    so live and replay reports diff byte-for-byte. *)
+type oracle_mode = Live | Replay
+
+let oracle_mode_to_string = function Live -> "live" | Replay -> "replay"
+
+let oracle_mode_of_string = function
+  | "live" -> Some Live
+  | "replay" -> Some Replay
+  | _ -> None
+
 type config = {
   c_seed : int;
   c_iters : int;
@@ -28,6 +45,7 @@ type config = {
   c_minimize : bool;  (** shrink each divergence to a minimal repro *)
   c_world : World.Config.t;  (** recipe for every oracle world (the run-spec key) *)
   c_max_steps : int;
+  c_oracle : oracle_mode;
 }
 
 let default_config =
@@ -39,6 +57,7 @@ let default_config =
     c_minimize = false;
     c_world = Oracle.default_world_cfg;
     c_max_steps = Oracle.default_max_steps;
+    c_oracle = Live;
   }
 
 (** Per-iteration program seed: decoupled from iteration order only by
@@ -98,13 +117,31 @@ let gen_native config i : Gen.prog * Oracle.projected =
   let pseed = iter_seed config i in
   let rng = Rng.create ~seed:pseed in
   let prog = Gen.generate ~shapes:config.c_shapes rng in
-  match
-    Oracle.run ~cfg:(iter_world config i) ~max_steps:config.c_max_steps ~mech:Mech.Native
-      prog.Gen.items
-  with
-  | Oracle.Launch_failed e ->
-    failwith (Printf.sprintf "fuzz iter %d: native launch failed (%d)" i e)
-  | Oracle.Ok_run native -> (prog, native)
+  let native =
+    match config.c_oracle with
+    | Live -> (
+      match
+        Oracle.run ~cfg:(iter_world config i) ~max_steps:config.c_max_steps ~mech:Mech.Native
+          prog.Gen.items
+      with
+      | Oracle.Launch_failed e ->
+        failwith (Printf.sprintf "fuzz iter %d: native launch failed (%d)" i e)
+      | Oracle.Ok_run native -> native)
+    | Replay -> (
+      match
+        Oracle.record ~cfg:(iter_world config i) ~max_steps:config.c_max_steps ~mech:Mech.Native
+          prog.Gen.items
+      with
+      | Error e -> failwith (Printf.sprintf "fuzz iter %d: native launch failed (%d)" i e)
+      | Ok rec0 ->
+        (* always through the wire format: the replay oracle's native
+           column is serialised and re-parsed every iteration, so the
+           codec round-trip is exercised — and the jobs / live-vs-
+           replay gates bite on it — at campaign scale *)
+        let rec1 = K23_replay.Recording.of_string (K23_replay.Recording.to_string rec0) in
+        Oracle.project_recording rec1)
+  in
+  (prog, native)
 
 (** Run a campaign.  [on_finding] fires as divergences are merged (for
     live CLI output); the report is assembled at the end.  [jobs]

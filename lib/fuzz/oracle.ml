@@ -44,6 +44,7 @@ open K23_userland
 module Event = K23_obs.Event
 module Mech = K23_eval.Mech
 module K23 = K23_core.K23
+module Recording = K23_replay.Recording
 
 let target_path = "/bin/fuzz_target"
 
@@ -84,7 +85,7 @@ let default_world_cfg = { World.Config.default with World.Config.seed = default_
    one, launch and run to completion.  Takes the world as an argument
    so the fresh-world ({!run_raw}) and scratch-world ({!run}) paths
    share one setup sequence. *)
-let launch_in w ~max_steps ~mech items =
+let launch_in ?unbounded w ~max_steps ~mech items =
   ignore (Sim.register_app w ~path:target_path items);
   ignore (Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items);
   if Mech.needs_offline mech then begin
@@ -95,7 +96,7 @@ let launch_in w ~max_steps ~mech items =
      makes: rewind the fault schedule so every mechanism's measured
      run starts it from tick 0 *)
   Kern.fault_reset w;
-  let t = Kern.ktrace_enable w in
+  let t = Kern.ktrace_enable ?unbounded w in
   match Mech.launch mech w ~path:target_path () with
   | Error e -> Error e
   | Ok (p, _stats) ->
@@ -142,11 +143,17 @@ let is_pid_nr nr =
 
 type pend = { pd_nr : int; pd_owner : string; mutable pd_blocked : bool }
 
-(** Project a raw run into comparable per-process syscall records. *)
-let project (p : Kern.proc) (w : Kern.world) events =
+(** Project a run into comparable per-process syscall records, from
+    pure data: the root pid, every traced process's fate (by raw
+    pid), the root console bytes and the event stream.  Shared by the
+    live path ({!project}, straight off a world) and the replay
+    oracle ({!project_recording}, off a {!Recording.t} — same
+    function, so a recorded run projects identically by
+    construction). *)
+let project_events ~root_pid ~(fates : (int * fate) list) ~console events =
   (* canonical pid numbering: root first, then first appearance *)
   let pid_map = Hashtbl.create 8 in
-  Hashtbl.replace pid_map p.Kern.pid 0;
+  Hashtbl.replace pid_map root_pid 0;
   let next_pid = ref 1 in
   let canon_pid pid =
     match Hashtbl.find_opt pid_map pid with
@@ -275,22 +282,30 @@ let project (p : Kern.proc) (w : Kern.world) events =
     Hashtbl.fold (fun pid cpid acc -> (pid, cpid) :: acc) pid_map []
     |> List.sort (fun (_, a) (_, b) -> compare a b)
     |> List.filter_map (fun (pid, cpid) ->
-           match List.find_opt (fun (q : Kern.proc) -> q.pid = pid) w.Kern.procs with
-           | None -> None
-           | Some q ->
-             let f =
-               match (q.exit_status, q.term_signal) with
-               | Some s, _ -> Exit s
-               | None, Some s -> Killed s
-               | None, None -> Running
-             in
-             Some (cpid, f))
+           Option.map (fun f -> (cpid, f)) (List.assoc_opt pid fates))
   in
   let streams =
     Hashtbl.fold (fun cpid q acc -> (cpid, List.rev !q) :: acc) streams []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  { streams; fates; console = World.stdout_of p }
+  { streams; fates; console }
+
+let fate_of_recorded : Recording.fate -> fate = function
+  | Recording.Exit n -> Exit n
+  | Recording.Killed s -> Killed s
+  | Recording.Running -> Running
+
+(** Project a raw run straight off its (still-live) world. *)
+let project (p : Kern.proc) (w : Kern.world) events =
+  project_events ~root_pid:p.Kern.pid
+    ~fates:(List.map (fun (pid, f) -> (pid, fate_of_recorded f)) (Recording.fates_of_world w))
+    ~console:(World.stdout_of p) events
+
+(** Project a recording — the replay oracle's native column. *)
+let project_recording (r : Recording.t) =
+  project_events ~root_pid:r.Recording.rc_root
+    ~fates:(List.map (fun (pid, f) -> (pid, fate_of_recorded f)) r.Recording.rc_fates)
+    ~console:r.Recording.rc_console r.Recording.rc_events
 
 (** Run under [mech] and project.  Uses the per-domain scratch world:
     the world is recycled between calls, and only the immutable
@@ -301,6 +316,28 @@ let run ?(cfg = default_world_cfg) ?(max_steps = default_max_steps) ~mech items 
       match launch_in w ~max_steps ~mech items with
       | Error e -> Launch_failed e
       | Ok (p, events) -> Ok_run (project p w events))
+
+(** Run [items] under [mech] and package the run as a
+    {!Recording.t} (unbounded sink: a recording must be complete).
+    Uses the scratch world — only the immutable recording escapes.
+    The replay-checked oracle records the native column once with
+    this and projects each iteration off the log. *)
+let record ?(cfg = default_world_cfg) ?(max_steps = default_max_steps) ~mech items =
+  with_scratch_world cfg (fun w ->
+      match launch_in ~unbounded:true w ~max_steps ~mech items with
+      | Error e -> Error e
+      | Ok (p, events) ->
+        Ok
+          {
+            Recording.rc_app = target_path;
+            rc_argv = [];
+            rc_mech = mech;
+            rc_cfg = { cfg with World.Config.ktrace = false };
+            rc_root = p.Kern.pid;
+            rc_console = World.stdout_of p;
+            rc_fates = Recording.fates_of_world w;
+            rc_events = events;
+          })
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                          *)

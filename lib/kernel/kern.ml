@@ -218,6 +218,15 @@ and world = {
   fault_ticks : (int, int) Hashtbl.t;
       (** nr -> count of fault-eligible dispatches so far; the
           schedule's per-nr clock *)
+  mutable replay_exit : (thread -> nr:int -> ret:int -> int) option;
+      (** replay substitution hook (lib/replay): called in
+          [complete_syscall] with the live result, returns the value to
+          actually store in RAX.  The replayer installs a function that
+          substitutes the recorded result for this thread's next
+          matching syscall, so a replayed world re-observes the
+          recorded inputs even where the live implementation would
+          diverge.  [None] (the default) is the zero-overhead mode,
+          same single-match discipline as [ktrace] and [faults]. *)
 }
 
 exception Would_block of { why : string; ready : unit -> bool; deadline : int option }
@@ -273,6 +282,7 @@ let create_world ?(ncores = 12) ?(quantum = 64) ?(seed = 23) ?(aslr = true)
     ktrace_last_tid = Array.make ncores (-1);
     faults = None;
     fault_ticks = Hashtbl.create 16;
+    replay_exit = None;
   }
 
 let register_library w (im : image) =
@@ -451,9 +461,12 @@ let charge (w : world) (th : thread) cycles = w.core_cycles.(th.core) <- w.core_
     scheduler switches) into a bounded overwrite-oldest ring, and
     mirrors the legacy counter fields into two named registries: the
     per-process [counters.c_named] (execve-reset, parity with the flat
-    record) and the world-level lifetime registry in the sink. *)
-let ktrace_enable ?capacity (w : world) =
-  let t = K23_obs.Trace.create ?capacity () in
+    record) and the world-level lifetime registry in the sink.
+    [~unbounded:true] swaps the ring for a growing one that never
+    drops — required by the recorder, which cannot replay a log with
+    holes in it. *)
+let ktrace_enable ?capacity ?unbounded (w : world) =
+  let t = K23_obs.Trace.create ?capacity ?unbounded () in
   w.ktrace <- Some t;
   t
 
@@ -855,6 +868,11 @@ let exec_syscall (w : world) (th : thread) ~nr ~args =
    event, fire the ptrace exit stop.  Shared by the normal path and
    the fault plane's hard-EINTR injection. *)
 let complete_syscall (w : world) (th : thread) ~nr ~ret =
+  (* replay substitution point: a replaying world stores the recorded
+     result instead of the live one (see lib/replay/replayer.ml) *)
+  let ret =
+    match w.replay_exit with None -> ret | Some f -> f th ~nr ~ret
+  in
   (* implementations that rewrite the register file (rt_sigreturn,
      execve) return the post-rewrite rax, making this a no-op *)
   Regs.set th.regs RAX ret;

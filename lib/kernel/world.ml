@@ -133,6 +133,7 @@ let reset (w : world) (cfg : Config.t) =
   w.sud_ever_armed <- false;
   w.ktrace <- None;
   Array.fill w.ktrace_last_tid 0 w.ncores (-1);
+  w.replay_exit <- None;
   wire w cfg
 
 (** Legacy constructor, kept as a thin wrapper over {!create_cfg}. *)

@@ -1,15 +1,21 @@
-(** Bounded ring buffer, overwrite-oldest.
+(** Ring buffer event sink: bounded overwrite-oldest, or unbounded.
 
-    The ktrace event sink: a fixed-capacity circular array that keeps
-    the most recent [capacity] entries and counts what it evicted.
-    Overwriting (rather than blocking or growing) keeps recording
-    allocation-free at steady state and makes the memory bound explicit
-    — the same design as the kernel's own trace ring and rr's event
-    buffers. *)
+    The default ktrace sink is a fixed-capacity circular array that
+    keeps the most recent [capacity] entries and counts what it
+    evicted.  Overwriting (rather than blocking or growing) keeps
+    recording allocation-free at steady state and makes the memory
+    bound explicit — the same design as the kernel's own trace ring
+    and rr's event buffers.
+
+    The recorder (lib/replay) needs the complete stream: a recording
+    with silently-dropped events can never replay.  [create_unbounded]
+    builds a ring that grows geometrically instead of overwriting, so
+    [dropped] stays 0 by construction and every push is retained. *)
 
 type 'a t = {
-  buf : 'a option array;
-  cap : int;
+  mutable buf : 'a option array;
+  mutable cap : int;
+  bounded : bool;  (** false = grow on full instead of overwriting *)
   mutable next : int;  (** slot the next push writes *)
   mutable len : int;  (** live entries, <= cap *)
   mutable dropped : int;  (** entries overwritten since creation/clear *)
@@ -17,14 +23,37 @@ type 'a t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { buf = Array.make capacity None; cap = capacity; next = 0; len = 0; dropped = 0 }
+  { buf = Array.make capacity None; cap = capacity; bounded = true; next = 0; len = 0; dropped = 0 }
+
+let default_initial = 1024
+
+let create_unbounded ?(initial = default_initial) () =
+  if initial <= 0 then invalid_arg "Ring.create_unbounded: initial must be positive";
+  { buf = Array.make initial None; cap = initial; bounded = false; next = 0; len = 0; dropped = 0 }
 
 let capacity r = r.cap
 let length r = r.len
 let dropped r = r.dropped
+let bounded r = r.bounded
+
+(* Double the array, unrolling the circular window so the oldest entry
+   lands at index 0 (after a grow, [next] never wraps until the next
+   grow, since len = old cap < new cap). *)
+let grow r =
+  let ncap = r.cap * 2 in
+  let nbuf = Array.make ncap None in
+  let start = (r.next - r.len + r.cap) mod r.cap in
+  for i = 0 to r.len - 1 do
+    nbuf.(i) <- r.buf.((start + i) mod r.cap)
+  done;
+  r.buf <- nbuf;
+  r.cap <- ncap;
+  r.next <- r.len
 
 let push r x =
-  if r.len = r.cap then r.dropped <- r.dropped + 1 else r.len <- r.len + 1;
+  if r.len = r.cap then
+    if r.bounded then r.dropped <- r.dropped + 1 else grow r;
+  if r.len < r.cap then r.len <- r.len + 1;
   r.buf.(r.next) <- Some x;
   r.next <- (r.next + 1) mod r.cap
 

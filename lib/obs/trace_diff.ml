@@ -2,21 +2,27 @@
 
     Two runs of the same seeded world must produce structurally equal
     event streams; [diff] finds the first divergence and reports it
-    with enough context to debug (index, both events, a few
-    predecessors).  This is the rr-style divergence check turned into a
-    library: the determinism test asserts [Identical], and a future
-    record/replay harness can bisect with the reported index. *)
+    with enough context to debug: the event index, both differing
+    events, and up to [context_len] events on *either side* of the
+    split (shared predecessors plus each stream's following events).
+    This is the rr-style divergence check turned into a library: the
+    determinism test asserts [Identical], and the replayer
+    (lib/replay) reports divergences in the same shape. *)
 
 type divergence = {
   index : int;  (** first differing position *)
   left : Event.t option;  (** [None] = stream ended early *)
   right : Event.t option;
   context : Event.t list;  (** up to [context_len] shared events before the split *)
+  after_left : Event.t list;  (** up to [context_len] events past the split, left stream *)
+  after_right : Event.t list;  (** same, right stream *)
 }
 
 type verdict = Identical of int  (** stream length *) | Diverged of divergence
 
-let context_len = 5
+let context_len = 3
+
+let take n l = List.filteri (fun j _ -> j < n) l
 
 let diff (a : Event.t list) (b : Event.t list) : verdict =
   let rec go i ctx a b =
@@ -24,11 +30,20 @@ let diff (a : Event.t list) (b : Event.t list) : verdict =
     | [], [] -> Identical i
     | x :: a', y :: b' when Event.equal x y ->
       (* keep the most recent [context_len] shared events, newest first *)
-      let keep = List.filteri (fun j _ -> j < context_len - 1) ctx in
+      let keep = take (context_len - 1) ctx in
       go (i + 1) (x :: keep) a' b'
     | _ ->
       let hd = function [] -> None | x :: _ -> Some x in
-      Diverged { index = i; left = hd a; right = hd b; context = List.rev ctx }
+      let tl = function [] -> [] | _ :: t -> t in
+      Diverged
+        {
+          index = i;
+          left = hd a;
+          right = hd b;
+          context = List.rev ctx;
+          after_left = take context_len (tl a);
+          after_right = take context_len (tl b);
+        }
   in
   go 0 [] a b
 
@@ -37,16 +52,25 @@ let is_identical = function Identical _ -> true | Diverged _ -> false
 let render ?namer verdict =
   match verdict with
   | Identical n -> Printf.sprintf "identical (%d events)\n" n
-  | Diverged { index; left; right; context } ->
+  | Diverged { index; left; right; context; after_left; after_right } ->
     let buf = Buffer.create 256 in
-    Buffer.add_string buf (Printf.sprintf "streams diverge at event %d\n" index);
-    List.iter
-      (fun e -> Buffer.add_string buf (Printf.sprintf "  ... %s\n" (Render.human_event ?namer e)))
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pr "streams diverge at event %d\n" index;
+    let nctx = List.length context in
+    List.iteri
+      (fun j e -> pr "  #%-5d ... %s\n" (index - nctx + j) (Render.human_event ?namer e))
       context;
     let side tag = function
-      | Some e -> Buffer.add_string buf (Printf.sprintf "  %s: %s\n" tag (Render.human_event ?namer e))
-      | None -> Buffer.add_string buf (Printf.sprintf "  %s: <end of stream>\n" tag)
+      | Some e -> pr "  #%-5d %s: %s\n" index tag (Render.human_event ?namer e)
+      | None -> pr "  #%-5d %s: <end of stream>\n" index tag
     in
     side "left " left;
     side "right" right;
+    let after tag evs =
+      List.iteri
+        (fun j e -> pr "  #%-5d %s+ %s\n" (index + 1 + j) tag (Render.human_event ?namer e))
+        evs
+    in
+    after "left " after_left;
+    after "right" after_right;
     Buffer.contents buf

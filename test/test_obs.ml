@@ -56,6 +56,38 @@ let test_ring_overflow_live () =
   Alcotest.(check int) "event_count = live + dropped" (Trace.event_count t)
     (16 + Trace.dropped t)
 
+(* unbounded mode: the recorder's sink must never drop — growth
+   unrolls the circular window, so order survives arbitrary volume.
+   The default ring stays bounded (pinned here and by the overflow
+   tests above). *)
+let test_ring_unbounded () =
+  let r = Ring.create_unbounded ~initial:4 () in
+  Alcotest.(check bool) "unbounded ring reports itself" false (Ring.bounded r);
+  Alcotest.(check bool) "default ring is bounded" true (Ring.bounded (Ring.create ~capacity:4));
+  for i = 1 to 10_000 do
+    Ring.push r i
+  done;
+  Alcotest.(check int) "nothing dropped" 0 (Ring.dropped r);
+  Alcotest.(check int) "everything retained" 10_000 (Ring.length r);
+  Alcotest.(check (list int)) "order preserved across growth"
+    (List.init 10_000 (fun i -> i + 1))
+    (Ring.to_list r);
+  Ring.clear r;
+  Alcotest.(check (list int)) "clear empties" [] (Ring.to_list r);
+  Ring.push r 42;
+  Alcotest.(check (list int)) "usable after clear" [ 42 ] (Ring.to_list r)
+
+(* growth mid-stream: push past the initial capacity and keep going —
+   the unrolled window must stay oldest-first through the doubling *)
+let test_ring_unbounded_growth_order () =
+  let r = Ring.create_unbounded ~initial:4 () in
+  for i = 1 to 6 do
+    Ring.push r i
+  done;
+  Alcotest.(check (list int)) "grown mid-stream, oldest first" [ 1; 2; 3; 4; 5; 6 ]
+    (Ring.to_list r);
+  Alcotest.(check int) "fold parity after growth" 21 (Ring.fold ( + ) 0 r)
+
 (* fold/iter walk the circular array in place; they must agree with
    to_list in every fill state, including after wrap-around *)
 let test_ring_fold_iter_parity () =
@@ -174,7 +206,15 @@ let test_trace_diff () =
     Alcotest.(check bool) "both sides present" true
       (d.Trace_diff.left <> None && d.Trace_diff.right <> None);
     Alcotest.(check int) "context bounded to context_len" Trace_diff.context_len
-      (List.length d.Trace_diff.context));
+      (List.length d.Trace_diff.context);
+    (* the after-context: up to context_len events past the divergence
+       on each side, so a report shows what each stream did next *)
+    Alcotest.(check int) "left after-context has the remaining events"
+      (min Trace_diff.context_len 2)
+      (List.length d.Trace_diff.after_left);
+    Alcotest.(check int) "right after-context has the remaining events"
+      (min Trace_diff.context_len 2)
+      (List.length d.Trace_diff.after_right));
   (* length divergence: one stream is a strict prefix *)
   match Trace_diff.diff (mk 8) (mk 6) with
   | Trace_diff.Identical _ -> Alcotest.fail "prefix streams reported identical"
@@ -316,6 +356,9 @@ let tests =
       Alcotest.test_case "ring overflow on a live run" `Quick test_ring_overflow_live;
       Alcotest.test_case "ring fold/iter parity (incl. wrapped)" `Quick
         test_ring_fold_iter_parity;
+      Alcotest.test_case "unbounded ring never drops" `Quick test_ring_unbounded;
+      Alcotest.test_case "unbounded ring growth keeps order" `Quick
+        test_ring_unbounded_growth_order;
       Alcotest.test_case "req_send/req_recv pairing on a live open-loop run" `Quick
         test_req_event_pairing;
       Alcotest.test_case "counter registry" `Quick test_counters;
