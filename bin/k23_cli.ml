@@ -325,8 +325,27 @@ let fuzz_cmd =
       & opt (some mech_conv) None
       & info [ "mech"; "m" ] ~docv:"MECH"
           ~doc:
-            "Check only this mechanism (default: zpoline-ultra, lazypoline, sud, ptrace, \
-             seccomp, k23-ultra).")
+            "Check only this mechanism (default on x86-64: zpoline-ultra, lazypoline, sud, \
+             ptrace, seccomp, k23-ultra; on arm64: asc-hook, sud, ptrace, seccomp).  Must be \
+             available on the selected $(b,--isa).")
+  in
+  let isa =
+    let isa_conv =
+      let parse s =
+        match K23_isa.Isa.of_string s with
+        | Some i -> Ok i
+        | None -> Error (`Msg (Printf.sprintf "unknown isa %S (x86-64 or arm64)" s))
+      in
+      Arg.conv (parse, fun fmt i -> Format.pp_print_string fmt (K23_isa.Isa.to_string i))
+    in
+    Arg.(
+      value
+      & opt isa_conv K23_isa.Isa.X86_64
+      & info [ "isa" ] ~docv:"ISA"
+          ~doc:
+            "Instruction set of the fuzzed worlds: $(b,x86-64) (default) or $(b,arm64).  \
+             Selects the generator backend, the default mechanism column and which \
+             mechanisms $(b,--mech) accepts.")
   in
   let shapes =
     Arg.(
@@ -389,7 +408,7 @@ let fuzz_cmd =
              wire format and projects off the log.  Verdicts are identical either way — gated \
              in runtest.")
   in
-  let run seed iters mech shapes minimize save json faults jobs oracle =
+  let run seed iters mech shapes minimize save json faults jobs oracle isa =
     let shapes =
       match shapes with
       | None -> F.Gen.default_shapes
@@ -397,19 +416,35 @@ let fuzz_cmd =
         String.split_on_char ',' s
         |> List.map (fun name ->
                match F.Gen.shape_of_string (String.trim name) with
-               | Some sh -> sh
+               | Some sh when List.mem sh (F.Gen.all_shapes_for isa) -> sh
+               | Some sh ->
+                 Printf.eprintf "shape %S has no %s realisation\n"
+                   (F.Gen.shape_to_string sh) (K23_isa.Isa.to_string isa);
+                 Stdlib.exit 2
                | None ->
                  Printf.eprintf "unknown shape %S\n" name;
                  Stdlib.exit 2)
     in
-    let mechs = match mech with None -> F.Oracle.default_mechs | Some m -> [ m ] in
+    let mechs =
+      match mech with
+      | None -> F.Oracle.default_mechs_for isa
+      | Some m ->
+        let avail = K23_eval.Mech.available ~isa in
+        if not (List.mem m avail) then begin
+          Printf.eprintf "mechanism %s is not available on %s (available: %s)\n"
+            (K23_eval.Mech.to_string m) (K23_isa.Isa.to_string isa)
+            (String.concat ", " (List.map K23_eval.Mech.to_string avail));
+          Stdlib.exit 2
+        end;
+        [ m ]
+    in
     let world =
+      let base =
+        { F.Campaign.default_config.c_world with K23_kernel.World.Config.isa }
+      in
       if faults then
-        {
-          F.Campaign.default_config.c_world with
-          K23_kernel.World.Config.faults = K23_faults.Faults.chaos ~fseed:seed ()
-        }
-      else F.Campaign.default_config.c_world
+        { base with K23_kernel.World.Config.faults = K23_faults.Faults.chaos ~fseed:seed () }
+      else base
     in
     let config =
       {
@@ -453,7 +488,8 @@ let fuzz_cmd =
           interposition mechanisms; any observable difference is a mechanism bug.  Exit status 1 \
           if divergences were found.")
     Term.(
-      const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json $ faults $ jobs $ oracle)
+      const run $ seed $ iters $ mech $ shapes $ minimize $ save $ json $ faults $ jobs $ oracle
+      $ isa)
 
 let bench_cmd =
   let module F = K23_fuzz in

@@ -34,7 +34,7 @@ let make_config ~handler ~stats =
     stats;
   }
 
-let image ~handler ~stats () : image =
+let image ?(isa = Isa.X86_64) ~handler ~stats () : image =
   let im_ref = ref None in
   let lazy_im = lazy (Option.get !im_ref) in
   let cfg = make_config ~handler ~stats in
@@ -56,14 +56,22 @@ let image ~handler ~stats () : image =
     seccomp_install p (Bpf.trap_outside_ip_range ~lo:r.r_start ~hi:(r.r_start + r.r_len));
     charge ctx.world ctx.thread 600
   in
-  let items =
-    [ Asm.Label "__seccomp_init"; Asm.Vcall_named "sc_init"; Asm.I Insn.Ret ]
-    @ sigsys_handler_items ()
+  let prog =
+    match isa with
+    | Isa.X86_64 ->
+      Asm.assemble
+        ([ Asm.Label "__seccomp_init"; Asm.Vcall_named "sc_init"; Asm.I Insn.Ret ]
+        @ sigsys_handler_items ())
+    | Isa.Arm64 ->
+      let module A = K23_isa_arm.Asm_arm in
+      A.assemble
+        ([ A.Label "__seccomp_init"; A.Vcall_named "sc_init"; A.I K23_isa_arm.Arm.Ret ]
+        @ sigsys_handler_items_arm ())
   in
   let im =
     {
       im_name = lib_path;
-      im_prog = Asm.assemble items;
+      im_prog = prog;
       im_host_fns =
         [
           ("sc_init", init);
@@ -84,7 +92,7 @@ let launch w ?inner ~path ?argv ?(env = []) () =
   ktrace_annot w "mech:seccomp-trap";
   let stats = fresh_stats () in
   let handler = counting_handler ?inner stats in
-  register_library w (image ~handler ~stats ());
+  register_library w (image ~isa:w.isa ~handler ~stats ());
   let env = add_preload env lib_path in
   match World.spawn w ~path ?argv ~env () with
   | Ok p -> Ok (p, stats)

@@ -25,7 +25,7 @@ let make_config ~handler ~stats ~selector =
     stats;
   }
 
-let image ?(interpose_on = true) ~handler ~stats () : image =
+let image ?(interpose_on = true) ?(isa = Isa.X86_64) ~handler ~stats () : image =
   let im_ref = ref None in
   let lazy_im = lazy (Option.get !im_ref) in
   let selector p = Mapper.image_sym p (Lazy.force lazy_im) "sud_selector" in
@@ -38,15 +38,24 @@ let image ?(interpose_on = true) ~handler ~stats () : image =
        the kernel slow path is measured *)
     set_selector_all_slots p ~sel_addr (if interpose_on then selector_block else selector_allow)
   in
-  let items =
-    [ Asm.Label "__sud_init"; Asm.Vcall_named "sud_init"; Asm.I Insn.Ret ]
-    @ sigsys_handler_items ()
-    @ [ Asm.Section `Data; Asm.Label "sud_selector"; Asm.Zeros 64 ]
+  let prog =
+    match isa with
+    | Isa.X86_64 ->
+      Asm.assemble
+        ([ Asm.Label "__sud_init"; Asm.Vcall_named "sud_init"; Asm.I Insn.Ret ]
+        @ sigsys_handler_items ()
+        @ [ Asm.Section `Data; Asm.Label "sud_selector"; Asm.Zeros 64 ])
+    | Isa.Arm64 ->
+      let module A = K23_isa_arm.Asm_arm in
+      A.assemble
+        ([ A.Label "__sud_init"; A.Vcall_named "sud_init"; A.I K23_isa_arm.Arm.Ret ]
+        @ sigsys_handler_items_arm ()
+        @ [ A.Section `Data; A.Label "sud_selector"; A.Zeros 64 ])
   in
   let im =
     {
       im_name = lib_path;
-      im_prog = Asm.assemble items;
+      im_prog = prog;
       im_host_fns =
         [
           ("sud_init", init);
@@ -66,7 +75,7 @@ let launch w ?(interpose_on = true) ?inner ~path ?argv ?(env = []) () =
   ktrace_annot w (if interpose_on then "mech:sud" else "mech:sud-nointerpose");
   let stats = fresh_stats () in
   let handler = counting_handler ?inner stats in
-  register_library w (image ~interpose_on ~handler ~stats ());
+  register_library w (image ~interpose_on ~isa:w.isa ~handler ~stats ());
   let env = add_preload env lib_path in
   match World.spawn w ~path ?argv ~env () with
   | Ok p -> Ok (p, stats)

@@ -8,6 +8,7 @@ module Sud = K23_baselines.Sud_interposer
 module Pt = K23_baselines.Ptrace_interposer
 module Sc = K23_baselines.Seccomp_interposer
 module K23 = K23_core.K23
+module Asc = K23_interpose.Asc_hook
 
 type t =
   | Native
@@ -21,6 +22,7 @@ type t =
   | Sud
   | Ptrace  (** host-agent tracer, entry/exit stops (Section 2.1) *)
   | Seccomp  (** SECCOMP_RET_TRAP outside the interposer's text *)
+  | Asc_hook  (** AArch64 svc->b rewriting with per-site slots (Section 8) *)
 
 (** Every mechanism, in declaration order — the single source of truth
     for name tables, CLI converters and round-trip serialisation
@@ -39,7 +41,31 @@ let all =
     Sud;
     Ptrace;
     Seccomp;
+    Asc_hook;
   ]
+
+(** The mechanisms that exist on [isa].  Rewriting an x86 variable-
+    length instruction stream (zpoline/lazypoline/K23) has no meaning
+    on AArch64 and vice versa for ASC-Hook; SUD, seccomp and ptrace
+    are kernel interfaces and work on both. *)
+let available ~isa =
+  let open K23_isa.Isa in
+  match isa with
+  | X86_64 ->
+    [
+      Native;
+      Zpoline_default;
+      Zpoline_ultra;
+      Lazypoline;
+      K23_default;
+      K23_ultra;
+      K23_ultra_plus;
+      Sud_no_interposition;
+      Sud;
+      Ptrace;
+      Seccomp;
+    ]
+  | Arm64 -> [ Native; Asc_hook; Sud_no_interposition; Sud; Ptrace; Seccomp ]
 
 let to_string = function
   | Native -> "native"
@@ -53,6 +79,7 @@ let to_string = function
   | Sud -> "SUD"
   | Ptrace -> "ptrace"
   | Seccomp -> "seccomp"
+  | Asc_hook -> "asc-hook"
 
 (** Inverse of {!to_string}, case-insensitively, plus the short CLI
     aliases ["zpoline"] and ["k23"] for the default variants. *)
@@ -86,7 +113,7 @@ let table6_cols =
 let needs_offline = function
   | K23_default | K23_ultra | K23_ultra_plus -> true
   | Native | Zpoline_default | Zpoline_ultra | Lazypoline | Sud | Sud_no_interposition | Ptrace
-  | Seccomp ->
+  | Seccomp | Asc_hook ->
     false
 
 (** Launch [path] under the mechanism.  Returns the process (and the
@@ -106,3 +133,4 @@ let launch mech w ~path ?argv ?env () =
   | Sud_no_interposition -> ok (Sud.launch w ~interpose_on:false ~path ?argv ?env ())
   | Ptrace -> ok (Pt.launch w ~path ?argv ?env ())
   | Seccomp -> ok (Sc.launch w ~path ?argv ?env ())
+  | Asc_hook -> ok (Asc.launch w ~path ?argv ?env ())

@@ -116,7 +116,9 @@ type iter_out = { io_prog : Gen.prog; io_divs : (Mech.t * Oracle.divergence) lis
 let gen_native config i : Gen.prog * Oracle.projected =
   let pseed = iter_seed config i in
   let rng = Rng.create ~seed:pseed in
-  let prog = Gen.generate ~shapes:config.c_shapes rng in
+  let prog =
+    Gen.generate ~shapes:config.c_shapes ~isa:config.c_world.World.Config.isa rng
+  in
   let native =
     match config.c_oracle with
     | Live -> (
@@ -277,6 +279,10 @@ let render_json (r : report) =
   add "{\n";
   add (Printf.sprintf "  \"seed\": %d,\n" r.r_config.c_seed);
   add (Printf.sprintf "  \"iters\": %d,\n" r.r_config.c_iters);
+  (* emitted only off x86 so pre-existing x86 reports stay byte-identical *)
+  (match r.r_config.c_world.World.Config.isa with
+  | K23_isa.Isa.X86_64 -> ()
+  | isa -> add (Printf.sprintf "  \"isa\": \"%s\",\n" (K23_isa.Isa.to_string isa)));
   add
     (Printf.sprintf "  \"faults\": \"%s\",\n"
        (K23_faults.Faults.to_string r.r_config.c_world.World.Config.faults));
@@ -358,7 +364,12 @@ let render_text (r : report) =
         add
           (Printf.sprintf "    minimized to %d insns:\n"
              (Option.value ~default:0 f.f_min_insns));
-        List.iter (fun it -> add ("      " ^ Corpus.item_to_line it ^ "\n")) e.Corpus.e_items)
+        let lines =
+          match e.Corpus.e_items with
+          | Gen.X86 its -> List.map Corpus.item_to_line its
+          | Gen.A64 its -> List.map Corpus.arm_item_to_line its
+        in
+        List.iter (fun l -> add ("      " ^ l ^ "\n")) lines)
     r.r_findings;
   add
     (Printf.sprintf "total: %d divergence%s\n" (total_divergences r)

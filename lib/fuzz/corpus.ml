@@ -20,7 +20,7 @@ type entry = {
   e_faults : K23_faults.Faults.plan option;
       (** fault plan active when the divergence was found; replay arms
           the same plan so fault-triggered repros stay reproducible *)
-  e_items : Asm.item list;
+  e_items : Gen.items;
 }
 
 exception Parse_error of string
@@ -188,6 +188,111 @@ let item_of_line line : Asm.item =
   | "call_reg", [ r ] -> Asm.I (Call_reg (reg_of_s r))
   | _ -> raise (Parse_error ("bad item line: " ^ line))
 
+
+(* --- the AArch64 item codec ----------------------------------------
+   Selected by the [isa:] header key; token names may overlap with the
+   x86 codec because a file is parsed under exactly one of them. *)
+
+module A = K23_isa_arm.Asm_arm
+module Arm = K23_isa_arm.Arm
+
+let arm_insn_to_line (i : Arm.insn) =
+  match i with
+  | Arm.Svc n -> Printf.sprintf "svc %d" n
+  | Arm.Bl o -> Printf.sprintf "bl %d" o
+  | Arm.B o -> Printf.sprintf "b %d" o
+  | Arm.B_cond (c, o) -> Printf.sprintf "b_cond %s %d" (cond_to_s c) o
+  | Arm.Br r -> Printf.sprintf "br %d" r
+  | Arm.Blr r -> Printf.sprintf "blr %d" r
+  | Arm.Ret -> "ret"
+  | Arm.Nop -> "nop"
+  | Arm.Movz (r, v) -> Printf.sprintf "movz %d %d" r v
+  | Arm.Movk (r, v, hw) -> Printf.sprintf "movk %d %d %d" r v hw
+  | Arm.Movn (r, v, hw) -> Printf.sprintf "movn %d %d %d" r v hw
+  | Arm.Mov_rr (d, m) -> Printf.sprintf "mov_rr %d %d" d m
+  | Arm.Add_imm (d, n, v) -> Printf.sprintf "add_imm %d %d %d" d n v
+  | Arm.Subs_imm (d, n, v) -> Printf.sprintf "subs_imm %d %d %d" d n v
+  | Arm.Add_rr (d, n, m) -> Printf.sprintf "add_rr %d %d %d" d n m
+  | Arm.Sub_rr (d, n, m) -> Printf.sprintf "sub_rr %d %d %d" d n m
+  | Arm.Subs_rr (d, n, m) -> Printf.sprintf "subs_rr %d %d %d" d n m
+  | Arm.Ldr_lit (r, o) -> Printf.sprintf "ldr_lit %d %d" r o
+  | Arm.Ldr (t, n, o) -> Printf.sprintf "ldr %d %d %d" t n o
+  | Arm.Str (t, n, o) -> Printf.sprintf "str %d %d %d" t n o
+  | Arm.Ldrb (t, n, o) -> Printf.sprintf "ldrb %d %d %d" t n o
+  | Arm.Strb (t, n, o) -> Printf.sprintf "strb %d %d %d" t n o
+  | Arm.Vcall n -> Printf.sprintf "vcall %d" n
+  | Arm.Brk n -> Printf.sprintf "brk %d" n
+
+let arm_item_to_line (it : A.item) =
+  match it with
+  | A.I i -> arm_insn_to_line i
+  | A.Label l -> "label " ^ l
+  | A.Blob b -> "blob " ^ hex_of_bytes b
+  | A.Zeros n -> Printf.sprintf "zeros %d" n
+  | A.Strz s -> "strz " ^ String.escaped s
+  | A.Quad n -> Printf.sprintf "quad %d" n
+  | A.J l -> "j " ^ l
+  | A.Jc (c, l) -> Printf.sprintf "jc %s %s" (cond_to_s c) l
+  | A.Calll l -> "calll " ^ l
+  | A.Call_sym s -> "call_sym " ^ s
+  | A.Jmp_sym s -> "jmp_sym " ^ s
+  | A.Mov_sym (r, s) -> Printf.sprintf "mov_sym %d %s" r s
+  | A.Vcall_named s -> "vcall_named " ^ s
+  | A.Section `Text -> "section text"
+  | A.Section `Data -> "section data"
+  | A.Align n -> Printf.sprintf "align %d" n
+
+let arm_item_of_line line : A.item =
+  let line = String.trim line in
+  let tok, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  in
+  let args () = String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") in
+  match (tok, args ()) with
+  | "label", [ l ] -> A.Label l
+  | "blob", [ h ] -> A.Blob (bytes_of_hex h)
+  | "zeros", [ n ] -> A.Zeros (num n)
+  | "strz", _ -> A.Strz (Scanf.unescaped rest)
+  | "quad", [ n ] -> A.Quad (num n)
+  | "j", [ l ] -> A.J l
+  | "jc", [ c; l ] -> A.Jc (cond_of_s c, l)
+  | "calll", [ l ] -> A.Calll l
+  | "call_sym", [ s ] -> A.Call_sym s
+  | "jmp_sym", [ s ] -> A.Jmp_sym s
+  | "mov_sym", [ r; s ] -> A.Mov_sym (num r, s)
+  | "vcall_named", [ s ] -> A.Vcall_named s
+  | "section", [ "text" ] -> A.Section `Text
+  | "section", [ "data" ] -> A.Section `Data
+  | "align", [ n ] -> A.Align (num n)
+  (* instructions *)
+  | "svc", [ n ] -> A.I (Arm.Svc (num n))
+  | "bl", [ o ] -> A.I (Arm.Bl (num o))
+  | "b", [ o ] -> A.I (Arm.B (num o))
+  | "b_cond", [ c; o ] -> A.I (Arm.B_cond (cond_of_s c, num o))
+  | "br", [ r ] -> A.I (Arm.Br (num r))
+  | "blr", [ r ] -> A.I (Arm.Blr (num r))
+  | "ret", [] -> A.I Arm.Ret
+  | "nop", [] -> A.I Arm.Nop
+  | "movz", [ r; v ] -> A.I (Arm.Movz (num r, num v))
+  | "movk", [ r; v; hw ] -> A.I (Arm.Movk (num r, num v, num hw))
+  | "movn", [ r; v; hw ] -> A.I (Arm.Movn (num r, num v, num hw))
+  | "mov_rr", [ d; m ] -> A.I (Arm.Mov_rr (num d, num m))
+  | "add_imm", [ d; n; v ] -> A.I (Arm.Add_imm (num d, num n, num v))
+  | "subs_imm", [ d; n; v ] -> A.I (Arm.Subs_imm (num d, num n, num v))
+  | "add_rr", [ d; n; m ] -> A.I (Arm.Add_rr (num d, num n, num m))
+  | "sub_rr", [ d; n; m ] -> A.I (Arm.Sub_rr (num d, num n, num m))
+  | "subs_rr", [ d; n; m ] -> A.I (Arm.Subs_rr (num d, num n, num m))
+  | "ldr_lit", [ r; o ] -> A.I (Arm.Ldr_lit (num r, num o))
+  | "ldr", [ t; n; o ] -> A.I (Arm.Ldr (num t, num n, num o))
+  | "str", [ t; n; o ] -> A.I (Arm.Str (num t, num n, num o))
+  | "ldrb", [ t; n; o ] -> A.I (Arm.Ldrb (num t, num n, num o))
+  | "strb", [ t; n; o ] -> A.I (Arm.Strb (num t, num n, num o))
+  | "vcall", [ n ] -> A.I (Arm.Vcall (num n))
+  | "brk", [ n ] -> A.I (Arm.Brk (num n))
+  | _ -> raise (Parse_error ("bad arm item line: " ^ line))
+
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)
 
@@ -195,6 +300,11 @@ let to_string (e : entry) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "# k23_fuzz minimized reproducer\n";
   Buffer.add_string buf (Printf.sprintf "mech: %s\n" (Mech.to_string e.e_mech));
+  (* emitted only for non-x86 entries: existing x86 corpus files stay
+     byte-identical, and old readers ignore unknown header keys *)
+  (match e.e_items with
+  | Gen.X86 _ -> ()
+  | Gen.A64 _ -> Buffer.add_string buf (Printf.sprintf "isa: %s\n" (K23_isa.Isa.to_string K23_isa.Isa.Arm64)));
   Buffer.add_string buf (Printf.sprintf "seed: %d\n" e.e_seed);
   Buffer.add_string buf (Printf.sprintf "expect: %s\n" e.e_expect);
   (match e.e_faults with
@@ -202,16 +312,22 @@ let to_string (e : entry) =
   | Some p ->
     Buffer.add_string buf (Printf.sprintf "faults: %s\n" (K23_faults.Faults.to_string p)));
   Buffer.add_string buf "---\n";
+  let lines =
+    match e.e_items with
+    | Gen.X86 its -> List.map item_to_line its
+    | Gen.A64 its -> List.map arm_item_to_line its
+  in
   List.iter
-    (fun it ->
-      Buffer.add_string buf (item_to_line it);
+    (fun l ->
+      Buffer.add_string buf l;
       Buffer.add_char buf '\n')
-    e.e_items;
+    lines;
   Buffer.contents buf
 
 let of_string s : entry =
   let lines = String.split_on_char '\n' s in
   let mech = ref None and seed = ref 0 and expect = ref "" and faults = ref None in
+  let isa = ref K23_isa.Isa.X86_64 in
   let rec header = function
     | [] -> raise (Parse_error "missing --- separator")
     | l :: rest -> (
@@ -230,6 +346,10 @@ let of_string s : entry =
             | Some m -> mech := Some m
             | None -> raise (Parse_error ("unknown mech: " ^ v)))
           | "seed" -> seed := num v
+          | "isa" -> (
+            match K23_isa.Isa.of_string v with
+            | Some i -> isa := i
+            | None -> raise (Parse_error ("unknown isa: " ^ v)))
           | "expect" -> expect := v
           | "faults" -> (
             match K23_faults.Faults.of_string v with
@@ -239,12 +359,17 @@ let of_string s : entry =
           header rest)
   in
   let body = header lines in
-  let items =
+  let body =
     List.filter_map
       (fun l ->
         let l = String.trim l in
-        if l = "" || l.[0] = '#' then None else Some (item_of_line l))
+        if l = "" || l.[0] = '#' then None else Some l)
       body
+  in
+  let items =
+    match !isa with
+    | K23_isa.Isa.X86_64 -> Gen.X86 (List.map item_of_line body)
+    | K23_isa.Isa.Arm64 -> Gen.A64 (List.map arm_item_of_line body)
   in
   match !mech with
   | None -> raise (Parse_error "missing mech: header")

@@ -40,6 +40,9 @@ type shape =
   | Sigheavy  (** install a fault handler, fault into it, exit there *)
   | Null_call  (** call *rax with rax=0 (P4a) — diverges by design *)
   | Execve_scrub  (** execve with envp=NULL (P1a) — diverges by design *)
+  | Svc_alias
+      (** ARM only: a text literal aliasing [svc], read back by the
+          program (P3a) — diverges under ASC-Hook by design *)
 
 let shape_to_string = function
   | Raw -> "raw"
@@ -50,6 +53,7 @@ let shape_to_string = function
   | Sigheavy -> "signal"
   | Null_call -> "null-call"
   | Execve_scrub -> "execve-scrub"
+  | Svc_alias -> "svc-alias"
 
 let shape_of_string = function
   | "raw" -> Some Raw
@@ -60,14 +64,33 @@ let shape_of_string = function
   | "signal" -> Some Sigheavy
   | "null-call" -> Some Null_call
   | "execve-scrub" -> Some Execve_scrub
+  | "svc-alias" -> Some Svc_alias
   | _ -> None
 
 let default_shapes = [ Raw; Embedded; Straddle; Smc; Forky; Sigheavy ]
 let unsafe_shapes = [ Null_call; Execve_scrub ]
 let all_shapes = default_shapes @ unsafe_shapes
 
+(* the safe mix is ISA-independent (each shape has a per-ISA
+   realisation); the designed-to-diverge shapes differ: P4a's NULL
+   call is an x86 trampoline artefact, P3a's alias literal needs a
+   fixed-width ISA with in-text literal pools *)
+let unsafe_shapes_for = function
+  | K23_isa.Isa.X86_64 -> unsafe_shapes
+  | K23_isa.Isa.Arm64 -> [ Svc_alias; Execve_scrub ]
+
+let all_shapes_for isa = default_shapes @ unsafe_shapes_for isa
+
+(** A generated program, tagged by the ISA its items are written in.
+    Both arms assemble to the neutral {!Asm.program}; the tag is what
+    lets the oracle pick the right registration path and sanity-check
+    the world's ISA. *)
+type items = X86 of Asm.item list | A64 of K23_isa_arm.Asm_arm.item list
+
+let items_isa = function X86 _ -> K23_isa.Isa.X86_64 | A64 _ -> K23_isa.Isa.Arm64
+
 type prog = {
-  items : Asm.item list;
+  items : items;
   shapes : shape list;  (** shape instances, in emission order *)
   nrs : int list;  (** statically chosen syscall numbers *)
 }
@@ -363,7 +386,7 @@ let execve_scrub_block st =
   ]
 
 let block_of_shape st = function
-  | Raw -> raw_block st
+  | Raw | Svc_alias (* no x86 realisation: alias literals need fixed width *) -> raw_block st
   | Embedded -> embedded_block st
   | Straddle -> straddle_block st
   | Smc -> smc_block st
@@ -382,6 +405,7 @@ let weight = function
   | Sigheavy -> 1
   | Null_call -> 2
   | Execve_scrub -> 2
+  | Svc_alias -> 2
 
 let pick_shape rng shapes =
   let total = List.fold_left (fun a s -> a + weight s) 0 shapes in
@@ -392,11 +416,11 @@ let pick_shape rng shapes =
   in
   go 0 shapes
 
-(** Generate one program.  Structure: 1-4 shape blocks, a final
-    exit_group, plus any handler code and the data section.  At most
-    one straddle and one terminal (signal) block per program; the
-    terminal block, if drawn, goes last. *)
-let generate ?(shapes = default_shapes) rng =
+(* Structure: 1-4 shape blocks, a final exit_group, plus any handler
+   code and the data section.  At most one straddle and one terminal
+   (signal) block per program; the terminal block, if drawn, goes
+   last. *)
+let generate_x86 ~shapes rng =
   let st = { rng; uid = 0; data = []; tail = []; used = []; sysnrs = [] } in
   let nblocks = 1 + Rng.int rng 4 in
   let straddled = ref false and terminal = ref false in
@@ -418,7 +442,260 @@ let generate ?(shapes = default_shapes) rng =
     @ st.tail
     @ (match st.data with [] -> [] | d -> Asm.Section `Data :: d)
   in
-  { items; shapes = st.used; nrs = List.rev st.sysnrs }
+  { items = X86 items; shapes = st.used; nrs = List.rev st.sysnrs }
+
+
+(* --- the AArch64 generator ----------------------------------------- *)
+
+(* The same shape mix realised in the fixed-width ISA.  Register
+   discipline mirrors x86: x0-x5 are syscall arguments, x8 the number,
+   x0 the (dirty) result; x16/x17 are the assembler's literal-pool
+   scratch, x19/x20 the loader's dispatch cell and x30 the link
+   register — all avoided.  General scratch is x9-x15, the loop
+   counter x21.  [svc] clobbers nothing, so unlike x86 no register
+   needs reloading across a syscall. *)
+
+module A = K23_isa_arm.Asm_arm
+module Arm = K23_isa_arm.Arm
+
+type st_arm = {
+  arng : Rng.t;
+  mutable auid : int;
+  mutable adata : A.item list;
+  mutable atail : A.item list;
+  mutable aused : shape list;
+  mutable asysnrs : int list;
+}
+
+let afresh st prefix =
+  st.auid <- st.auid + 1;
+  Printf.sprintf "%s%d" prefix st.auid
+
+let anote st nr = st.asysnrs <- nr :: st.asysnrs
+let ascratch = [| 9; 10; 11; 12; 13; 15 |]
+let li rd v = List.map (fun i -> A.I i) (Arm.li rd v)
+let svc st = A.I (Arm.Svc (Rng.int st.arng 8))
+
+(* an executable sled of [nwords] nops (Blob keeps the item count and
+   therefore the page-offset arithmetic exact) *)
+let nop_pad nwords =
+  let w = Arm.bytes_of_word (Arm.encode Arm.Nop) in
+  let b = Bytes.create (4 * nwords) in
+  for i = 0 to nwords - 1 do
+    Bytes.blit w 0 b (4 * i) 4
+  done;
+  A.Blob b
+
+let exit_items_arm st code =
+  anote st Sysno.exit_group;
+  li 0 code @ li 8 Sysno.exit_group @ [ A.I (Arm.Svc 0) ]
+
+let write_const_arm st msg =
+  let lbl = afresh st "m" in
+  st.adata <- st.adata @ [ A.Label lbl; A.Strz msg ];
+  anote st Sysno.write;
+  li 0 1 @ [ A.Mov_sym (1, lbl) ] @ li 2 (String.length msg) @ li 8 Sysno.write @ [ svc st ]
+
+let write_items_arm st =
+  let len = 1 + Rng.int st.arng 8 in
+  let msg = String.init len (fun _ -> Char.chr (Char.code 'a' + Rng.int st.arng 26)) in
+  write_const_arm st msg
+
+let raw_syscall_items_arm st =
+  match Rng.int st.arng 6 with
+  | 0 ->
+    anote st Sysno.getpid;
+    li 8 Sysno.getpid @ [ svc st ]
+  | 1 ->
+    anote st Sysno.gettid;
+    li 8 Sysno.gettid @ [ svc st ]
+  | 2 ->
+    (* -ENOSYS whatever the registers hold; [Arm.li] materialises any
+       OCaml int exactly (movz/movk field reassembly), so the x86
+       boundary values carry over unchanged *)
+    anote st Sysno.bench_nonexistent;
+    List.concat (List.init 6 (fun i -> li i (pick st.arng boundary_args)))
+    @ li 8 Sysno.bench_nonexistent
+    @ [ svc st ]
+  | 3 ->
+    anote st Sysno.brk;
+    li 0 0 @ li 8 Sysno.brk @ [ svc st ]
+  | 4 ->
+    anote st Sysno.close;
+    li 0 (99 + Rng.int st.arng 100) @ li 8 Sysno.close @ [ svc st ]
+  | _ -> write_items_arm st
+
+(* immediates and register values that contain the [svc] word pattern:
+   split across movz/movk 16-bit fields or materialised whole.  An
+   aligned sweep never treats them as sites; only in-text {e data}
+   words can alias (the [Svc_alias] shape). *)
+let embedded_filler_arm st =
+  let r = pick st.arng ascratch in
+  let alias = Arm.encode (Arm.Svc (Rng.int st.arng 0x10000)) in
+  match Rng.int st.arng 4 with
+  | 0 -> [ A.I (Arm.Movz (r, alias land 0xffff)) ]
+  | 1 -> li r alias
+  | 2 ->
+    let r2 = pick st.arng ascratch in
+    li r alias @ [ A.I (Arm.Add_rr (r, r, r2)) ]
+  | _ -> [ A.I (Arm.Movz (r, alias land 0xffff)); A.I (Arm.Movk (r, (alias lsr 16) land 0xffff, 1)) ]
+
+let raw_block_arm st =
+  let one () = raw_syscall_items_arm st in
+  if Rng.int st.arng 3 = 0 then begin
+    (* bounded counted loop around one syscall (x21 is reserved) *)
+    let n = 2 + Rng.int st.arng 4 in
+    let lbl = afresh st "loop" in
+    let body = one () in
+    li 21 n @ [ A.Label lbl ] @ body
+    @ [ A.I (Arm.Subs_imm (21, 21, 1)); A.Jc (Insn.NZ, lbl) ]
+  end
+  else List.concat (List.init (1 + Rng.int st.arng 3) (fun _ -> one ()))
+
+let embedded_block_arm st =
+  let fillers = List.concat (List.init (2 + Rng.int st.arng 3) (fun _ -> embedded_filler_arm st)) in
+  fillers @ raw_syscall_items_arm st
+
+(* no instruction can straddle a page on a fixed-width ISA; the shape
+   instead parks genuine [svc] sites on both edges of a page boundary,
+   where a patcher's permission and barrier handling must span pages *)
+let straddle_block_arm st =
+  anote st Sysno.getpid;
+  if Rng.int st.arng 2 = 0 then
+    (* svc in the last word of a page *)
+    li 8 Sysno.getpid @ [ A.Align 4096; nop_pad 1023; A.I (Arm.Svc 0) ]
+  else begin
+    (* back-to-back sites bracketing the boundary: last word of one
+       page, first word of the next (x8 survives the first svc) *)
+    anote st Sysno.getpid;
+    li 8 Sysno.getpid @ [ A.Align 4096; nop_pad 1023; A.I (Arm.Svc 0); A.I (Arm.Svc 1) ]
+  end
+
+let smc_block_arm st =
+  let nr = pick_l st.arng [ Sysno.getpid; Sysno.gettid; Sysno.bench_nonexistent ] in
+  anote st Sysno.mmap;
+  anote st nr;
+  let stub = Arm.assemble (Arm.li 8 nr @ [ Arm.Svc 0; Arm.Ret ]) in
+  let stores = ref [] in
+  Bytes.iteri
+    (fun i c -> stores := !stores @ li 9 (Char.code c) @ [ A.I (Arm.Strb (9, 14, i)) ])
+    stub;
+  li 0 0 @ li 1 4096 @ li 2 7 @ li 3 0x20 @ li 4 (-1) @ li 5 0 @ li 8 Sysno.mmap
+  @ [ A.I (Arm.Svc 0); A.I (Arm.Mov_rr (14, 0)) ]
+  @ !stores
+  @ [ A.I (Arm.Blr 14) ]
+
+let forky_block_arm st =
+  let child = afresh st "child" and join = afresh st "join" in
+  anote st Sysno.fork;
+  anote st Sysno.wait4;
+  let child_body =
+    List.concat (List.init (1 + Rng.int st.arng 2) (fun _ -> raw_syscall_items_arm st))
+    @ (if Rng.int st.arng 2 = 0 then write_items_arm st else [])
+    @ exit_items_arm st (Rng.int st.arng 32)
+  in
+  li 8 Sysno.fork
+  @ [ A.I (Arm.Svc 0); A.I (Arm.Subs_imm (31, 0, 0)); A.Jc (Insn.Z, child) ]
+  @ li 0 (-1) @ li 1 0 @ li 2 0 @ li 3 0 @ li 8 Sysno.wait4
+  @ [ A.I (Arm.Svc 0); A.J join; A.Label child ]
+  @ child_body
+  @ [ A.Label join ]
+
+let sig_block_arm st =
+  let handler = afresh st "handler" in
+  let signo, trigger =
+    if Rng.int st.arng 2 = 0 then (sigill, A.Blob (Bytes.make 4 '\x00')) (* zero word: undefined *)
+    else (sigtrap, A.I (Arm.Brk 0))
+  in
+  anote st Sysno.rt_sigaction;
+  let handler_code = write_items_arm st @ exit_items_arm st (32 + Rng.int st.arng 32) in
+  st.atail <- st.atail @ [ A.Label handler ] @ handler_code;
+  li 0 signo @ [ A.Mov_sym (1, handler) ] @ li 8 Sysno.rt_sigaction @ [ A.I (Arm.Svc 0); trigger ]
+
+(* P3a as a shape: a literal-pool word whose value aliases the [svc]
+   encoding, read back and compared.  An exact aligned sweep cannot
+   tell it from code, so ASC-Hook patches it and the program observes
+   the rewrite — native and rewriting runs diverge by design. *)
+let svc_alias_block st =
+  let cont = afresh st "cont" and patched = afresh st "patched" and fin = afresh st "fin" in
+  let alias = Arm.encode (Arm.Svc (1 + Rng.int st.arng 0x7fff)) in
+  [ A.I (Arm.Ldr_lit (9, 2)) (* x9 := the quad two words below *); A.J cont; A.Quad alias; A.Label cont ]
+  @ li 10 alias
+  @ [ A.I (Arm.Subs_rr (31, 9, 10)); A.Jc (Insn.NZ, patched) ]
+  @ write_const_arm st "literal-intact"
+  @ [ A.J fin; A.Label patched ]
+  @ write_const_arm st "literal-PATCHED"
+  @ [ A.Label fin ]
+
+let exec_child_items_arm =
+  [ A.Label "main" ]
+  @ li 21 3
+  @ [ A.Label "el" ]
+  @ li 8 Sysno.bench_nonexistent
+  @ [ A.I (Arm.Svc 0); A.I (Arm.Subs_imm (21, 21, 1)); A.Jc (Insn.NZ, "el") ]
+  @ li 0 7 @ li 8 Sysno.exit_group
+  @ [ A.I (Arm.Svc 0) ]
+
+let execve_scrub_block_arm st =
+  let child = afresh st "xchild" and join = afresh st "xjoin" in
+  let epath = afresh st "epath" and argvv = afresh st "argvv" in
+  st.adata <-
+    st.adata @ [ A.Label epath; A.Strz exec_child_path; A.Align 8; A.Label argvv; A.Quad 0 ];
+  anote st Sysno.fork;
+  anote st Sysno.wait4;
+  anote st Sysno.execve;
+  li 8 Sysno.fork
+  @ [ A.I (Arm.Svc 0); A.I (Arm.Subs_imm (31, 0, 0)); A.Jc (Insn.Z, child) ]
+  @ li 0 (-1) @ li 1 0 @ li 2 0 @ li 3 0 @ li 8 Sysno.wait4
+  @ [ A.I (Arm.Svc 0); A.J join; A.Label child; A.Mov_sym (0, epath); A.Mov_sym (1, argvv) ]
+  @ li 2 0 @ li 8 Sysno.execve
+  @ [ A.I (Arm.Svc 0) ]
+  (* execve failed: die loudly *)
+  @ li 0 9 @ li 8 Sysno.exit_group
+  @ [ A.I (Arm.Svc 0); A.Label join ]
+
+let block_of_shape_arm st = function
+  | Raw | Null_call (* no ARM realisation: NULL-call misdirection is an x86 trampoline artefact *) ->
+    raw_block_arm st
+  | Embedded -> embedded_block_arm st
+  | Straddle -> straddle_block_arm st
+  | Smc -> smc_block_arm st
+  | Forky -> forky_block_arm st
+  | Sigheavy -> sig_block_arm st
+  | Svc_alias -> svc_alias_block st
+  | Execve_scrub -> execve_scrub_block_arm st
+
+let generate_arm ~shapes rng =
+  let st = { arng = rng; auid = 0; adata = []; atail = []; aused = []; asysnrs = [] } in
+  let nblocks = 1 + Rng.int rng 4 in
+  let straddled = ref false and terminal = ref false in
+  let body = ref [] in
+  for _ = 1 to nblocks do
+    if not !terminal then begin
+      let s = ref (pick_shape rng shapes) in
+      if !s = Straddle && !straddled then s := Raw;
+      if !s = Straddle then straddled := true;
+      if !s = Sigheavy then terminal := true;
+      st.aused <- st.aused @ [ !s ];
+      body := !body @ block_of_shape_arm st !s
+    end
+  done;
+  let items =
+    [ A.Label "main" ]
+    @ !body
+    @ (if !terminal then [] else exit_items_arm st (Rng.int st.arng 64))
+    @ st.atail
+    @ (match st.adata with [] -> [] | d -> A.Section `Data :: d)
+  in
+  { items = A64 items; shapes = st.aused; nrs = List.rev st.asysnrs }
+
+(** Generate one program for [isa].  Same seed, same ISA => the same
+    program byte-for-byte; the two ISAs draw from the rng in different
+    orders and are unrelated streams. *)
+let generate ?(shapes = default_shapes) ?(isa = K23_isa.Isa.X86_64) rng =
+  match isa with
+  | K23_isa.Isa.X86_64 -> generate_x86 ~shapes rng
+  | K23_isa.Isa.Arm64 -> generate_arm ~shapes rng
 
 (* --- coverage accounting ------------------------------------------- *)
 
@@ -434,40 +711,76 @@ let insn_name (i : Insn.t) =
   | Store8 _ -> "store8" | Lea _ -> "lea" | Jmp_rel _ -> "jmp_rel" | Call_rel _ -> "call_rel"
   | Jcc _ -> "jcc" | Jmp_reg _ -> "jmp_reg" | Call_reg _ -> "call_reg"
 
-(** Count the executable instructions of an item list (pseudo-items
-    count as what they assemble to; data items count zero). *)
-let insn_count items =
-  List.fold_left
-    (fun acc item ->
-      acc
-      +
-      match (item : Asm.item) with
-      | Asm.I _ | Asm.J _ | Asm.Jc _ | Asm.Calll _ | Asm.Mov_sym _ | Asm.Vcall_named _ -> 1
-      | Asm.Call_sym _ | Asm.Jmp_sym _ -> 2
-      | Asm.Label _ | Asm.Blob _ | Asm.Zeros _ | Asm.Strz _ | Asm.Quad _ | Asm.Section _
-      | Asm.Align _ ->
-        0)
-    0 items
+(** Count the executable instructions of a program's items (pseudo-
+    items count as what they assemble to; data items count zero). *)
+let insn_count = function
+  | X86 items ->
+    List.fold_left
+      (fun acc item ->
+        acc
+        +
+        match (item : Asm.item) with
+        | Asm.I _ | Asm.J _ | Asm.Jc _ | Asm.Calll _ | Asm.Mov_sym _ | Asm.Vcall_named _ -> 1
+        | Asm.Call_sym _ | Asm.Jmp_sym _ -> 2
+        | Asm.Label _ | Asm.Blob _ | Asm.Zeros _ | Asm.Strz _ | Asm.Quad _ | Asm.Section _
+        | Asm.Align _ ->
+          0)
+      0 items
+  | A64 items ->
+    List.fold_left
+      (fun acc item ->
+        acc
+        +
+        match (item : A.item) with
+        | A.I _ | A.J _ | A.Jc _ | A.Calll _ | A.Vcall_named _ -> 1
+        | A.Mov_sym _ -> 2 (* ldr + skip-branch (the pool quad is data) *)
+        | A.Call_sym _ | A.Jmp_sym _ -> 3
+        | A.Label _ | A.Blob _ | A.Zeros _ | A.Strz _ | A.Quad _ | A.Section _ | A.Align _ -> 0)
+      0 items
 
 let add_hist tbl key by =
   Hashtbl.replace tbl key (by + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
-(** Opcode histogram over a program's items (sorted by name). *)
+let arm_insn_name (i : Arm.insn) =
+  match i with
+  | Svc _ -> "svc" | Bl _ -> "bl" | B _ -> "b" | B_cond _ -> "b_cond" | Br _ -> "br"
+  | Blr _ -> "blr" | Ret -> "ret" | Nop -> "nop" | Movz _ -> "movz" | Movk _ -> "movk"
+  | Movn _ -> "movn" | Mov_rr _ -> "mov_rr" | Add_imm _ -> "add_imm" | Subs_imm _ -> "subs_imm"
+  | Add_rr _ -> "add_rr" | Sub_rr _ -> "sub_rr" | Subs_rr _ -> "subs_rr" | Ldr_lit _ -> "ldr_lit"
+  | Ldr _ -> "ldr" | Str _ -> "str" | Ldrb _ -> "ldrb" | Strb _ -> "strb" | Vcall _ -> "vcall"
+  | Brk _ -> "brk"
+
+(** Opcode histogram over programs' items (sorted by name); x86 and
+    ARM opcode names never collide, so mixed populations are fine. *)
 let insn_histogram progs =
   let tbl = Hashtbl.create 32 in
   List.iter
     (fun p ->
-      List.iter
-        (fun item ->
-          match (item : Asm.item) with
-          | Asm.I i -> add_hist tbl (insn_name i) 1
-          | Asm.J _ -> add_hist tbl "jmp_rel" 1
-          | Asm.Jc _ -> add_hist tbl "jcc" 1
-          | Asm.Calll _ -> add_hist tbl "call_rel" 1
-          | Asm.Mov_sym _ -> add_hist tbl "mov_ri" 1
-          | Asm.Call_sym _ | Asm.Jmp_sym _ -> add_hist tbl "mov_ri" 1
-          | _ -> ())
-        p.items)
+      match p.items with
+      | X86 items ->
+        List.iter
+          (fun item ->
+            match (item : Asm.item) with
+            | Asm.I i -> add_hist tbl (insn_name i) 1
+            | Asm.J _ -> add_hist tbl "jmp_rel" 1
+            | Asm.Jc _ -> add_hist tbl "jcc" 1
+            | Asm.Calll _ -> add_hist tbl "call_rel" 1
+            | Asm.Mov_sym _ -> add_hist tbl "mov_ri" 1
+            | Asm.Call_sym _ | Asm.Jmp_sym _ -> add_hist tbl "mov_ri" 1
+            | _ -> ())
+          items
+      | A64 items ->
+        List.iter
+          (fun item ->
+            match (item : A.item) with
+            | A.I i -> add_hist tbl (arm_insn_name i) 1
+            | A.J _ -> add_hist tbl "b" 1
+            | A.Jc _ -> add_hist tbl "b_cond" 1
+            | A.Calll _ -> add_hist tbl "bl" 1
+            | A.Mov_sym _ -> add_hist tbl "ldr_lit" 1
+            | A.Call_sym _ | A.Jmp_sym _ -> add_hist tbl "ldr_lit" 1
+            | _ -> ())
+          items)
     progs;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -52,6 +52,13 @@ let target_path = "/bin/fuzz_target"
 let default_mechs : Mech.t list =
   [ Mech.Zpoline_ultra; Mech.Lazypoline; Mech.Sud; Mech.Ptrace; Mech.Seccomp; Mech.K23_ultra ]
 
+(** Default mechanism column per ISA: on Arm the rewriting family is
+    ASC-Hook and the kernel-mediated mechanisms carry over; the x86
+    trampoline mechanisms have no Arm realisation. *)
+let default_mechs_for = function
+  | K23_isa.Isa.X86_64 -> default_mechs
+  | K23_isa.Isa.Arm64 -> [ Mech.Asc_hook; Mech.Sud; Mech.Ptrace; Mech.Seccomp ]
+
 type fate = Exit of int | Killed of int | Running
 
 let fate_to_string = function
@@ -85,9 +92,20 @@ let default_world_cfg = { World.Config.default with World.Config.seed = default_
    one, launch and run to completion.  Takes the world as an argument
    so the fresh-world ({!run_raw}) and scratch-world ({!run}) paths
    share one setup sequence. *)
-let launch_in ?unbounded w ~max_steps ~mech items =
-  ignore (Sim.register_app w ~path:target_path items);
-  ignore (Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items);
+let launch_in ?unbounded w ~max_steps ~mech (items : Gen.items) =
+  if w.Kern.isa <> Gen.items_isa items then
+    invalid_arg
+      (Printf.sprintf "Oracle: %s program on a %s world"
+         (K23_isa.Isa.to_string (Gen.items_isa items))
+         (K23_isa.Isa.to_string w.Kern.isa));
+  (match items with
+  | Gen.X86 its ->
+    ignore (Sim.register_app w ~path:target_path its);
+    ignore (Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items)
+  | Gen.A64 its ->
+    let module A = K23_isa_arm.Asm_arm in
+    ignore (Sim.register_app_prog w ~path:target_path (A.assemble its));
+    ignore (Sim.register_app_prog w ~path:Gen.exec_child_path (A.assemble Gen.exec_child_items_arm)));
   if Mech.needs_offline mech then begin
     ignore (K23.offline_run w ~path:target_path ());
     K23.seal_logs w

@@ -14,7 +14,7 @@
     assumes; here it actually holds. *)
 
 type result = {
-  items : K23_isa.Asm.item list;  (** the minimal reproducer *)
+  items : Gen.items;  (** the minimal reproducer *)
   divergence : Oracle.divergence;  (** what it still reproduces *)
   tests : int;  (** oracle runs spent shrinking *)
 }
@@ -25,11 +25,13 @@ let drop n l = List.filteri (fun i _ -> i >= n) l
 (** Remove the slice [lo, lo+len) of [l]. *)
 let without l lo len = take lo l @ drop (lo + len) l
 
-let minimize ?cfg ?max_steps ~mech items =
+(* the ddmin loop itself is item-representation-agnostic: [wrap]
+   re-tags the candidate list for the oracle *)
+let minimize_list ?cfg ?max_steps ~mech ~wrap items =
   let tests = ref 0 in
   let check its =
     incr tests;
-    match Oracle.diverges ?cfg ?max_steps ~mech its with
+    match Oracle.diverges ?cfg ?max_steps ~mech (wrap its) with
     | exception _ -> None (* no longer assembles / launches: not a repro *)
     | d -> d
   in
@@ -74,4 +76,8 @@ let minimize ?cfg ?max_steps ~mech items =
         | None -> incr i)
       done
     done;
-    Some { items = !best; divergence = !best_d; tests = !tests }
+    Some { items = wrap !best; divergence = !best_d; tests = !tests }
+
+let minimize ?cfg ?max_steps ~mech = function
+  | Gen.X86 its -> minimize_list ?cfg ?max_steps ~mech ~wrap:(fun l -> Gen.X86 l) its
+  | Gen.A64 its -> minimize_list ?cfg ?max_steps ~mech ~wrap:(fun l -> Gen.A64 l) its

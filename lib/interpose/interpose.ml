@@ -261,6 +261,26 @@ let sigsys_handler_items ?(extra_items = []) () =
       Asm.I Insn.Syscall;
     ]
 
+(** AArch64 twin of {!sigsys_handler_items}: same labels, same vcall
+    names, [svc #0] gadgets instead of [syscall] and the sigreturn
+    number materialised into [x8].  Both assemble to the ISA-neutral
+    program type, so the host side ({!sigsys_pre}/{!sigsys_post}) is
+    shared. *)
+let sigsys_handler_items_arm ?(extra_items = []) () =
+  let module A = K23_isa_arm.Asm_arm in
+  let module Arm = K23_isa_arm.Arm in
+  [ A.Label sigsys_handler_sym ]
+  @ extra_items
+  @ [
+      A.Vcall_named "sigsys_pre";
+      A.Label "__sigsys_gadget";
+      A.I (Arm.Svc 0);
+      A.Label sigsys_post_sym;
+      A.Vcall_named "sigsys_post";
+    ]
+  @ List.map (fun i -> A.I i) (Arm.li 8 Sysno.rt_sigreturn)
+  @ [ A.I (Arm.Svc 0) ]
+
 (** Host side of the SIGSYS path.  [im] is the interposer image (for
     label address lookup); [on_sigsys] is an optional extra step run
     before the user handler (K23 uses it for the prctl guard). *)
@@ -287,14 +307,11 @@ let sigsys_pre (cfg : config) ~(im : image Lazy.t) ?(on_sigsys = fun _ ~site:_ ~
       match cfg.handler ctx ~nr ~args ~site with
       | Forward ->
         (* load the attempted syscall into the register file and fall
-           into the gadget *)
-        Regs.set th.regs RAX nr;
-        Regs.set th.regs RDI args.(0);
-        Regs.set th.regs RSI args.(1);
-        Regs.set th.regs RDX args.(2);
-        Regs.set th.regs R10 args.(3);
-        Regs.set th.regs R8 args.(4);
-        Regs.set th.regs R9 args.(5)
+           into the gadget (ABI register indices come from the ISA:
+           rax/rdi/... on x86-64, x8/x0..x5 on arm64) *)
+        let isa = w.isa in
+        Regs.seti th.regs (K23_isa.Isa.nr_index isa) nr;
+        Array.iteri (fun i idx -> Regs.seti th.regs idx args.(i)) (K23_isa.Isa.arg_indices isa)
       | Emulate v ->
         Regs.set th.regs RAX v;
         th.regs.rip <- post_addr

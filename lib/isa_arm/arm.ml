@@ -1,35 +1,80 @@
-(** A fixed-length (AArch64-flavoured) ISA study.
+(** A fixed-length (AArch64-flavoured) ISA — a real machine target.
 
     The paper's Discussion (Section 7) argues that porting K23-style
     rewriting to fixed-instruction-length architectures such as ARM is
     {e less challenging} than on x86-64.  This module makes that claim
-    executable: a 4-byte-instruction ISA with AArch64 encodings for the
-    instructions that matter, an exact disassembler, and an atomic
-    rewriter — together with the properties that distinguish it from
-    the x86-64 case:
+    executable: a 4-byte-instruction ISA with AArch64 encodings, an
+    exact disassembler, and an atomic rewriter — together with the
+    properties that distinguish it from the x86-64 case:
 
     - decoding positions are 4-byte aligned, so a syscall pattern
       embedded {e inside} another instruction can never be executed or
       misdecoded at an unaligned boundary (no P2a-style overlook, no
       P3b partial-instruction gadgets);
-    - [svc #0] and a [bl] redirection have the {e same} size, so
+    - [svc #0] and a [b]/[bl] redirection have the {e same} size, so
       rewriting is a single aligned 32-bit store — architecturally
       atomic, eliminating the torn-write half of P5;
-    - embedded data words can still coincide with the [svc] encoding,
-      so P3a-style false positives are reduced but not gone — which is
-      why an offline validation phase remains useful even on ARM.
+    - embedded data words (literal pools live in text on AArch64!) can
+      still coincide with the [svc] encoding, so P3a-style false
+      positives are reduced but not gone — which is why an offline
+      validation phase remains useful even on ARM (and why ASC-Hook
+      style patch-everything rewriting stays unsound: see
+      [Asc_hook]).
 
-    Encodings follow the ARMv8-A manual for the instructions used. *)
+    The instruction set is the subset an interposable Linux userland
+    needs: immediate building (movz/movk/movn), ALU + flags, memory,
+    branches, [svc], plus two simulator escapes in the
+    exception-generation space ([Vcall] in hlt's encoding, [Brk]).
+    Register operands are flat indices 0..31; index 31 is the stack
+    pointer for loads/stores and "discard" (xzr) as an ALU
+    destination.  Encodings follow the ARMv8-A manual for the
+    instructions used. *)
+
+type cond = K23_isa.Insn.cond
+
+(** AArch64 condition-code nibble for a {!cond}. *)
+let cond_code : cond -> int = function
+  | K23_isa.Insn.Z -> 0x0 (* eq *)
+  | K23_isa.Insn.NZ -> 0x1 (* ne *)
+  | K23_isa.Insn.GE -> 0xa
+  | K23_isa.Insn.LT -> 0xb
+  | K23_isa.Insn.GT -> 0xc
+  | K23_isa.Insn.LE -> 0xd
+
+let cond_of_code = function
+  | 0x0 -> Some K23_isa.Insn.Z
+  | 0x1 -> Some K23_isa.Insn.NZ
+  | 0xa -> Some K23_isa.Insn.GE
+  | 0xb -> Some K23_isa.Insn.LT
+  | 0xc -> Some K23_isa.Insn.GT
+  | 0xd -> Some K23_isa.Insn.LE
+  | _ -> None
 
 type insn =
   | Svc of int  (** supervisor call: 1101_0100_000 imm16 00001 *)
   | Bl of int  (** branch-and-link, imm26 words: 100101 imm26 *)
   | B of int  (** branch: 000101 imm26 *)
-  | Ret  (** 0xd65f03c0 *)
+  | B_cond of cond * int  (** b.cond, imm19 words: 0101_0100 imm19 0 cond *)
+  | Br of int  (** branch to register *)
+  | Blr of int  (** branch-and-link to register *)
+  | Ret  (** 0xd65f03c0 (ret x30) *)
   | Nop  (** 0xd503201f *)
   | Movz of int * int  (** movz xD, #imm16: 1101_0010_100 imm16 rd *)
+  | Movk of int * int * int  (** movk xD, #imm16, lsl #(16*hw) *)
+  | Movn of int * int * int  (** movn xD, #imm16, lsl #(16*hw): xD <- ~(imm<<sh) *)
+  | Mov_rr of int * int  (** mov xD, xM (orr xD, xzr, xM) *)
   | Add_imm of int * int * int  (** add xD, xN, #imm12 *)
-  | Ldr_lit of int * int  (** ldr xD, [pc + imm19*4] *)
+  | Subs_imm of int * int * int  (** subs xD, xN, #imm12 (cmp when xD=31) *)
+  | Add_rr of int * int * int  (** add xD, xN, xM *)
+  | Sub_rr of int * int * int  (** sub xD, xN, xM *)
+  | Subs_rr of int * int * int  (** subs xD, xN, xM (cmp when xD=31) *)
+  | Ldr_lit of int * int  (** ldr xD, [pc + imm19*4] — 8-byte literal load *)
+  | Ldr of int * int * int  (** ldr xT, [xN + #imm] (imm bytes, 8-aligned) *)
+  | Str of int * int * int  (** str xT, [xN + #imm] *)
+  | Ldrb of int * int * int  (** ldrb wT, [xN + #imm] *)
+  | Strb of int * int * int  (** strb wT, [xN + #imm] *)
+  | Vcall of int  (** simulator host-escape, hlt encoding space: 0xd44 imm16 00000 *)
+  | Brk of int  (** brk #imm16 (SIGTRAP) *)
 
 let mask19 = (1 lsl 19) - 1
 let mask26 = (1 lsl 26) - 1
@@ -38,26 +83,83 @@ let encode = function
   | Svc imm -> 0xd4000001 lor ((imm land 0xffff) lsl 5)
   | Bl off -> 0x94000000 lor (off land mask26)
   | B off -> 0x14000000 lor (off land mask26)
+  | B_cond (c, off) -> 0x54000000 lor ((off land mask19) lsl 5) lor cond_code c
+  | Br rn -> 0xd61f0000 lor ((rn land 31) lsl 5)
+  | Blr rn -> 0xd63f0000 lor ((rn land 31) lsl 5)
   | Ret -> 0xd65f03c0
   | Nop -> 0xd503201f
   | Movz (rd, imm) -> 0xd2800000 lor ((imm land 0xffff) lsl 5) lor (rd land 31)
-  | Add_imm (rd, rn, imm) -> 0x91000000 lor ((imm land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rd land 31)
+  | Movk (rd, imm, hw) ->
+    0xf2800000 lor ((hw land 3) lsl 21) lor ((imm land 0xffff) lsl 5) lor (rd land 31)
+  | Movn (rd, imm, hw) ->
+    0x92800000 lor ((hw land 3) lsl 21) lor ((imm land 0xffff) lsl 5) lor (rd land 31)
+  | Mov_rr (rd, rm) -> 0xaa0003e0 lor ((rm land 31) lsl 16) lor (rd land 31)
+  | Add_imm (rd, rn, imm) ->
+    0x91000000 lor ((imm land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rd land 31)
+  | Subs_imm (rd, rn, imm) ->
+    0xf1000000 lor ((imm land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rd land 31)
+  | Add_rr (rd, rn, rm) ->
+    0x8b000000 lor ((rm land 31) lsl 16) lor ((rn land 31) lsl 5) lor (rd land 31)
+  | Sub_rr (rd, rn, rm) ->
+    0xcb000000 lor ((rm land 31) lsl 16) lor ((rn land 31) lsl 5) lor (rd land 31)
+  | Subs_rr (rd, rn, rm) ->
+    0xeb000000 lor ((rm land 31) lsl 16) lor ((rn land 31) lsl 5) lor (rd land 31)
   | Ldr_lit (rd, off) -> 0x58000000 lor ((off land mask19) lsl 5) lor (rd land 31)
+  | Ldr (rt, rn, imm) ->
+    0xf9400000 lor (((imm / 8) land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rt land 31)
+  | Str (rt, rn, imm) ->
+    0xf9000000 lor (((imm / 8) land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rt land 31)
+  | Ldrb (rt, rn, imm) ->
+    0x39400000 lor ((imm land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rt land 31)
+  | Strb (rt, rn, imm) ->
+    0x39000000 lor ((imm land 0xfff) lsl 10) lor ((rn land 31) lsl 5) lor (rt land 31)
+  | Vcall n -> 0xd4400000 lor ((n land 0xffff) lsl 5)
+  | Brk n -> 0xd4200000 lor ((n land 0xffff) lsl 5)
 
 let sign_extend width v = if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
 
 let decode word : insn option =
   if word land 0xffe0001f = 0xd4000001 then Some (Svc ((word lsr 5) land 0xffff))
+  else if word land 0xffe0001f = 0xd4400000 then Some (Vcall ((word lsr 5) land 0xffff))
+  else if word land 0xffe0001f = 0xd4200000 then Some (Brk ((word lsr 5) land 0xffff))
   else if word land 0xfc000000 = 0x94000000 then Some (Bl (sign_extend 26 (word land mask26)))
   else if word land 0xfc000000 = 0x14000000 then Some (B (sign_extend 26 (word land mask26)))
+  else if word land 0xff000010 = 0x54000000 then
+    Option.map
+      (fun c -> B_cond (c, sign_extend 19 ((word lsr 5) land mask19)))
+      (cond_of_code (word land 0xf))
+  else if word land 0xfffffc1f = 0xd61f0000 then Some (Br ((word lsr 5) land 31))
+  else if word land 0xfffffc1f = 0xd63f0000 then Some (Blr ((word lsr 5) land 31))
   else if word = 0xd65f03c0 then Some Ret
   else if word = 0xd503201f then Some Nop
   else if word land 0xffe00000 = 0xd2800000 then
     Some (Movz (word land 31, (word lsr 5) land 0xffff))
+  else if word land 0xff800000 = 0xf2800000 then
+    Some (Movk (word land 31, (word lsr 5) land 0xffff, (word lsr 21) land 3))
+  else if word land 0xff800000 = 0x92800000 then
+    Some (Movn (word land 31, (word lsr 5) land 0xffff, (word lsr 21) land 3))
+  else if word land 0xffe0ffe0 = 0xaa0003e0 then
+    Some (Mov_rr (word land 31, (word lsr 16) land 31))
   else if word land 0xff000000 = 0x91000000 then
     Some (Add_imm (word land 31, (word lsr 5) land 31, (word lsr 10) land 0xfff))
+  else if word land 0xff000000 = 0xf1000000 then
+    Some (Subs_imm (word land 31, (word lsr 5) land 31, (word lsr 10) land 0xfff))
+  else if word land 0xffe0fc00 = 0x8b000000 then
+    Some (Add_rr (word land 31, (word lsr 5) land 31, (word lsr 16) land 31))
+  else if word land 0xffe0fc00 = 0xcb000000 then
+    Some (Sub_rr (word land 31, (word lsr 5) land 31, (word lsr 16) land 31))
+  else if word land 0xffe0fc00 = 0xeb000000 then
+    Some (Subs_rr (word land 31, (word lsr 5) land 31, (word lsr 16) land 31))
   else if word land 0xff000000 = 0x58000000 then
     Some (Ldr_lit (word land 31, sign_extend 19 ((word lsr 5) land mask19)))
+  else if word land 0xffc00000 = 0xf9400000 then
+    Some (Ldr (word land 31, (word lsr 5) land 31, ((word lsr 10) land 0xfff) * 8))
+  else if word land 0xffc00000 = 0xf9000000 then
+    Some (Str (word land 31, (word lsr 5) land 31, ((word lsr 10) land 0xfff) * 8))
+  else if word land 0xffc00000 = 0x39400000 then
+    Some (Ldrb (word land 31, (word lsr 5) land 31, (word lsr 10) land 0xfff))
+  else if word land 0xffc00000 = 0x39000000 then
+    Some (Strb (word land 31, (word lsr 5) land 31, (word lsr 10) land 0xfff))
   else None
 
 (* little-endian 32-bit words, as AArch64 stores instructions *)
@@ -105,3 +207,44 @@ let raw_svc_pattern_sites code ~base =
     pitfall P5 cannot exist. *)
 let rewrite_svc_to_bl code ~site_off ~rel_words =
   Bytes.blit (bytes_of_word (encode (Bl rel_words))) 0 code site_off 4
+
+(** Build an arbitrary 63-bit immediate in [rd]: movz + up to three
+    movk.  Small negatives (≥ -65536) via a single movn. *)
+let li rd v =
+  if v < 0 && v >= -65536 then [ Movn (rd, lnot v land 0xffff, 0) ]
+  else begin
+    let chunks = List.init 4 (fun i -> (i, (v lsr (16 * i)) land 0xffff)) in
+    match List.filter (fun (_, c) -> c <> 0) chunks with
+    | [] -> [ Movz (rd, 0) ]
+    | (0, c0) :: rest ->
+      Movz (rd, c0) :: List.map (fun (hw, c) -> Movk (rd, c, hw)) rest
+    | rest ->
+      (* low 16 bits zero: movz still clears the register *)
+      Movz (rd, 0) :: List.map (fun (hw, c) -> Movk (rd, c, hw)) rest
+  end
+
+let to_string = function
+  | Svc n -> Printf.sprintf "svc #%d" n
+  | Bl o -> Printf.sprintf "bl %+d" o
+  | B o -> Printf.sprintf "b %+d" o
+  | B_cond (c, o) -> Printf.sprintf "b.%s %+d" (K23_isa.Insn.cond_to_string c) o
+  | Br r -> Printf.sprintf "br x%d" r
+  | Blr r -> Printf.sprintf "blr x%d" r
+  | Ret -> "ret"
+  | Nop -> "nop"
+  | Movz (d, i) -> Printf.sprintf "movz x%d, #%d" d i
+  | Movk (d, i, hw) -> Printf.sprintf "movk x%d, #%d, lsl #%d" d i (16 * hw)
+  | Movn (d, i, hw) -> Printf.sprintf "movn x%d, #%d, lsl #%d" d i (16 * hw)
+  | Mov_rr (d, m) -> Printf.sprintf "mov x%d, x%d" d m
+  | Add_imm (d, n, i) -> Printf.sprintf "add x%d, x%d, #%d" d n i
+  | Subs_imm (d, n, i) -> Printf.sprintf "subs x%d, x%d, #%d" d n i
+  | Add_rr (d, n, m) -> Printf.sprintf "add x%d, x%d, x%d" d n m
+  | Sub_rr (d, n, m) -> Printf.sprintf "sub x%d, x%d, x%d" d n m
+  | Subs_rr (d, n, m) -> Printf.sprintf "subs x%d, x%d, x%d" d n m
+  | Ldr_lit (d, o) -> Printf.sprintf "ldr x%d, [pc%+d]" d (4 * o)
+  | Ldr (t, n, i) -> Printf.sprintf "ldr x%d, [x%d, #%d]" t n i
+  | Str (t, n, i) -> Printf.sprintf "str x%d, [x%d, #%d]" t n i
+  | Ldrb (t, n, i) -> Printf.sprintf "ldrb w%d, [x%d, #%d]" t n i
+  | Strb (t, n, i) -> Printf.sprintf "strb w%d, [x%d, #%d]" t n i
+  | Vcall n -> Printf.sprintf "vcall #%d" n
+  | Brk n -> Printf.sprintf "brk #%d" n

@@ -1,20 +1,41 @@
-(** Fixed-length (AArch64-flavoured) ISA study, quantifying the
-    Discussion-section claim that rewriting is fundamentally easier on
-    fixed-instruction-length architectures: aligned 4-byte decoding
+(** Fixed-length (AArch64-flavoured) ISA, grown from a Discussion-
+    section study into a real machine target: aligned 4-byte decoding
     cannot desynchronise (no P2a overlook, no P3b partial-instruction
-    gadgets) and [svc]→[bl] rewriting is one atomic aligned store (no
-    torn-write P5).  Data words aliasing [svc] keep a residual P3a
-    risk, so offline validation remains useful. *)
+    gadgets) and [svc]→branch rewriting is one atomic aligned store
+    (no torn-write P5).  Data words aliasing [svc] keep a residual P3a
+    risk — literal pools live in text on AArch64 — so offline
+    validation remains useful. *)
+
+type cond = K23_isa.Insn.cond
+
+val cond_code : cond -> int
+val cond_of_code : int -> cond option
 
 type insn =
   | Svc of int
   | Bl of int  (** branch-and-link, offset in words *)
   | B of int
+  | B_cond of cond * int  (** offset in words *)
+  | Br of int
+  | Blr of int
   | Ret
   | Nop
   | Movz of int * int
+  | Movk of int * int * int  (** rd, imm16, hw (shift = 16*hw) *)
+  | Movn of int * int * int
+  | Mov_rr of int * int
   | Add_imm of int * int * int
+  | Subs_imm of int * int * int  (** cmp when rd = 31 *)
+  | Add_rr of int * int * int
+  | Sub_rr of int * int * int
+  | Subs_rr of int * int * int
   | Ldr_lit of int * int
+  | Ldr of int * int * int  (** byte offset, 8-aligned *)
+  | Str of int * int * int
+  | Ldrb of int * int * int
+  | Strb of int * int * int
+  | Vcall of int  (** simulator host-escape (hlt encoding space) *)
+  | Brk of int
 
 val encode : insn -> int
 (** 32-bit instruction word (ARMv8-A encodings). *)
@@ -36,7 +57,13 @@ val find_svc_sites : Bytes.t -> base:int -> int list
 
 val raw_svc_pattern_sites : Bytes.t -> base:int -> int list
 (** Word-aligned positions whose value encodes [svc] (ground truth for
-    aliasing tests). *)
+    aliasing tests — and exactly what an ASC-Hook-style patcher must
+    treat as a site). *)
 
 val rewrite_svc_to_bl : Bytes.t -> site_off:int -> rel_words:int -> unit
 (** One aligned 32-bit store: architecturally atomic. *)
+
+val li : int -> int -> insn list
+(** [li rd v]: materialise immediate [v] in [xrd] (movz/movk/movn). *)
+
+val to_string : insn -> string

@@ -185,6 +185,11 @@ and world = {
   mutable cost : Cost.model;
       (** immutable in spirit; mutable only so {!World.reset} can
           replay the per-run skew draw of [create_world] in place *)
+  isa : K23_isa.Isa.t;
+      (** the machine's instruction set.  A world is single-ISA: every
+          image it loads (ld.so, vdso, interposers, apps) targets this
+          ISA, and the fetch/step path, syscall register convention and
+          signal-frame register assignment all dispatch on it *)
   ncores : int;
   icaches : Icache.t array;
   core_cycles : int array;
@@ -251,14 +256,15 @@ let sigsys = 31
 (* ------------------------------------------------------------------ *)
 (* World construction                                                  *)
 
-let create_world ?(ncores = 12) ?(quantum = 64) ?(seed = 23) ?(aslr = true)
-    ?(cost = Cost.default) ?(predecode = true) () =
+let create_world ?(isa = K23_isa.Isa.X86_64) ?(ncores = 12) ?(quantum = 64) ?(seed = 23)
+    ?(aslr = true) ?(cost = Cost.default) ?(predecode = true) () =
   let rng = Rng.create ~seed in
   (* per-run machine-state skew (~±0.7% on the kernel path): repeated
      runs with different seeds show realistic standard deviations *)
   let cost = { cost with syscall_base = cost.syscall_base + Rng.int rng 3 - 1 } in
   {
     cost;
+    isa;
     ncores;
     icaches = Array.init ncores (fun _ -> Icache.create ~predecode ());
     core_cycles = Array.make ncores 0;
@@ -674,13 +680,15 @@ let deliver_signal (w : world) (th : thread) ~signo ~sysno ~site ~args =
     let frame = { fr_regs = Regs.copy th.regs; fr_signo = signo; fr_sysno = sysno; fr_site = site; fr_args = args } in
     th.frames <- frame :: th.frames;
     (* Enter the handler: mimic the kernel building a signal frame on
-       an offset stack; rdi/rsi/rdx carry (signo, site, sysno) — the
-       moral equivalent of siginfo + ucontext, which handlers access
-       through kernel helpers in this model. *)
-    Regs.set th.regs RSP (Regs.get th.regs RSP - 512);
-    Regs.set th.regs RDI signo;
-    Regs.set th.regs RSI site;
-    Regs.set th.regs RDX sysno;
+       an offset stack; rdi/rsi/rdx (x0/x1/x2 on arm64) carry
+       (signo, site, sysno) — the moral equivalent of siginfo +
+       ucontext, which handlers access through kernel helpers in this
+       model. *)
+    let sp = K23_isa.Isa.sp_index w.isa and sig_args = K23_isa.Isa.sig_arg_indices w.isa in
+    Regs.seti th.regs sp (Regs.geti th.regs sp - 512);
+    Regs.seti th.regs sig_args.(0) signo;
+    Regs.seti th.regs sig_args.(1) site;
+    Regs.seti th.regs sig_args.(2) sysno;
     th.regs.rip <- handler_addr
 
 (** rt_sigreturn: restore the (possibly handler-mutated) saved
@@ -850,14 +858,8 @@ let sud_blocks (th : thread) ~site =
 let seccomp_install (p : proc) (f : Bpf.filter) = p.seccomp <- f :: p.seccomp
 
 let syscall_args (th : thread) =
-  [|
-    Regs.get th.regs RDI;
-    Regs.get th.regs RSI;
-    Regs.get th.regs RDX;
-    Regs.get th.regs R10;
-    Regs.get th.regs R8;
-    Regs.get th.regs R9;
-  |]
+  let idx = K23_isa.Isa.arg_indices th.t_proc.w.isa in
+  Array.map (fun i -> Regs.geti th.regs i) idx
 
 let exec_syscall (w : world) (th : thread) ~nr ~args =
   match w.syscall_impl with
@@ -955,7 +957,7 @@ let finish_syscall (w : world) (th : thread) ~nr ~args =
 (** Kernel entry for a trapping [syscall]/[sysenter] instruction. *)
 let handle_syscall (w : world) (th : thread) ~site =
   let p = th.t_proc in
-  let nr = Regs.get th.regs RAX in
+  let nr = Regs.geti th.regs (K23_isa.Isa.nr_index w.isa) in
   let args = syscall_args th in
   th.sc_site <- site;
   (* SUD: divert to SIGSYS when armed, outside the allowlisted range
@@ -992,7 +994,10 @@ let handle_syscall (w : world) (th : thread) ~site =
       | [] -> Bpf.Allow
       | filters ->
         charge w th (25 * List.length filters);
-        let v = Bpf.eval_all filters { Bpf.nr; arch = 0xc000003e; ip = site; args = Array.copy args } in
+        let v =
+          Bpf.eval_all filters
+            { Bpf.nr; arch = K23_isa.Isa.audit_arch w.isa; ip = site; args = Array.copy args }
+        in
         ktrace_count w p "seccomp.eval";
         (match w.ktrace with
         | None -> ()
@@ -1058,9 +1063,9 @@ let handle_syscall (w : world) (th : thread) ~site =
 (* Vcall resolution                                                    *)
 
 let resolve_vcall (p : proc) ~rip_after ~index =
-  (* the Vcall instruction is 6 bytes; its first byte locates the
-     owning region *)
-  match find_region p (rip_after - 6) with
+  (* the Vcall instruction is 6 bytes on x86 and one word on arm64;
+     its first byte locates the owning region *)
+  match find_region p (rip_after - K23_isa.Isa.vcall_len p.w.isa) with
   | None -> None
   | Some r -> (
     match r.r_image with
@@ -1105,7 +1110,10 @@ let emit_trap_event (w : world) (th : thread) trap payload =
 let step_thread (w : world) (th : thread) =
   switch_address_space w th;
   w.steps <- w.steps + 1;
-  match Cpu.step ~cost:w.cost th.regs th.t_proc.mem w.icaches.(th.core) with
+  let step =
+    match w.isa with K23_isa.Isa.X86_64 -> Cpu.step | K23_isa.Isa.Arm64 -> Cpu.step_arm
+  in
+  match step ~cost:w.cost th.regs th.t_proc.mem w.icaches.(th.core) with
   | Cpu.Stepped c -> charge w th c
   | Cpu.Trapped (trap, c) -> (
     charge w th c;

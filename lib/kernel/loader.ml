@@ -45,11 +45,20 @@ let get_state (p : proc) =
 
 let nosys nr = Op_sys { nr; make_args = (fun () -> [| 0; 0; 0; 0; 0; 0 |]); post = ignore }
 
+(* The interpreter's dispatch registers: a flag ("issue a syscall" /
+   "call a ctor" / "enter main") and a branch target.  Callee-saved on
+   either ABI: rbx/r12 on x86, x19/x20 on arm64. *)
+let dispatch_flag_index = function K23_isa.Isa.X86_64 -> 3 (* rbx *) | K23_isa.Isa.Arm64 -> 19
+let dispatch_target_index = function K23_isa.Isa.X86_64 -> 12 (* r12 *) | K23_isa.Isa.Arm64 -> 20
+
 let ldso_step (ctx : ctx) =
   let th = ctx.thread in
   let p = th.t_proc in
   let st = get_state p in
-  let set r v = Regs.set th.regs r v in
+  let isa = ctx.world.isa in
+  let seti i v = Regs.seti th.regs i v in
+  let args_idx = K23_isa.Isa.arg_indices isa in
+  let flag = dispatch_flag_index isa and target = dispatch_target_index isa in
   let rec go () =
     match st.plan with
     | [] -> panic "pid %d: ld.so plan exhausted" p.pid
@@ -61,24 +70,19 @@ let ldso_step (ctx : ctx) =
         go ()
       | Op_sys { nr; make_args; post } ->
         let a = make_args () in
-        set RAX nr;
-        set RDI a.(0);
-        set RSI a.(1);
-        set RDX a.(2);
-        set R10 a.(3);
-        set R8 a.(4);
-        set R9 a.(5);
-        set RBX 0;
+        seti (K23_isa.Isa.nr_index isa) nr;
+        Array.iteri (fun i idx -> seti idx a.(i)) args_idx;
+        seti flag 0;
         st.post <- Some post
       | Op_call get_addr ->
-        set RBX 1;
-        set R12 (get_addr ())
+        seti flag 1;
+        seti target (get_addr ())
       | Op_enter f ->
         let entry, argc, argv = f () in
-        set RBX 2;
-        set R12 entry;
-        set RDI argc;
-        set RSI argv)
+        seti flag 2;
+        seti target entry;
+        seti args_idx.(0) argc;
+        seti args_idx.(1) argv)
   in
   go ()
 
@@ -91,6 +95,11 @@ let ldso_ret (ctx : ctx) =
   | None -> ()
 
 let ldso_path = "/usr/lib/ld-linux-x86-64.so.2"
+let ldso_path_arm = "/usr/lib/ld-linux-aarch64.so.1"
+
+let ldso_path_for = function
+  | K23_isa.Isa.X86_64 -> ldso_path
+  | K23_isa.Isa.Arm64 -> ldso_path_arm
 
 let ldso_image () : image =
   let prog =
@@ -124,6 +133,43 @@ let ldso_image () : image =
     im_owner = Ldso;
   }
 
+(** The same interpreter loop, compiled for AArch64: dispatch flag in
+    x19, branch target in x20, the syscall gadget a real [svc #0] in
+    the interpreter's own text (P2b fidelity: all pre-preload startup
+    syscalls execute as genuine trapping instructions on ARM too). *)
+let ldso_image_arm () : image =
+  let open K23_isa_arm in
+  let prog =
+    Asm_arm.assemble
+      [
+        Asm_arm.Label "_start";
+        Asm_arm.Label "loop";
+        Asm_arm.Vcall_named "ldso_step";
+        Asm_arm.I (Arm.Subs_imm (31, 19, 0)) (* cmp x19, #0 *);
+        Asm_arm.Jc (K23_isa.Insn.NZ, "not_sys");
+        Asm_arm.Label "ldso_syscall_gadget";
+        Asm_arm.I (Arm.Svc 0);
+        Asm_arm.Vcall_named "ldso_ret";
+        Asm_arm.J "loop";
+        Asm_arm.Label "not_sys";
+        Asm_arm.I (Arm.Subs_imm (31, 19, 1)) (* cmp x19, #1 *);
+        Asm_arm.Jc (K23_isa.Insn.NZ, "enter_main");
+        Asm_arm.I (Arm.Blr 20);
+        Asm_arm.J "loop";
+        Asm_arm.Label "enter_main";
+        Asm_arm.I (Arm.Br 20);
+      ]
+  in
+  {
+    im_name = ldso_path_arm;
+    im_prog = prog;
+    im_host_fns = [ ("ldso_step", ldso_step); ("ldso_ret", ldso_ret) ];
+    im_init = None;
+    im_entry = Some "_start";
+    im_needed = [];
+    im_owner = Ldso;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* vdso                                                                *)
 
@@ -139,13 +185,34 @@ let vdso_clock_gettime (ctx : ctx) =
   ktrace_event ctx.world th (K23_obs.Event.Vdso_call { sym = "clock_gettime" });
   charge ctx.world th 25;
   let ns = now ctx.world * 10 / 32 in
-  (try Memory.write_u64_raw p.mem (Regs.get th.regs RSI) ns with Memory.Fault _ -> ());
+  let arg1 = (K23_isa.Isa.arg_indices ctx.world.isa).(1) in
+  (try Memory.write_u64_raw p.mem (Regs.geti th.regs arg1) ns with Memory.Fault _ -> ());
   Regs.set th.regs RAX 0
 
 let vdso_image () : image =
   let prog =
     Asm.assemble
       [ Label "__vdso_clock_gettime"; Vcall_named "vdso_clock_gettime"; I Ret ]
+  in
+  {
+    im_name = vdso_name;
+    im_prog = prog;
+    im_host_fns = [ ("vdso_clock_gettime", vdso_clock_gettime) ];
+    im_init = None;
+    im_entry = None;
+    im_needed = [];
+    im_owner = Vdso;
+  }
+
+let vdso_image_arm () : image =
+  let open K23_isa_arm in
+  let prog =
+    Asm_arm.assemble
+      [
+        Asm_arm.Label "__vdso_clock_gettime";
+        Asm_arm.Vcall_named "vdso_clock_gettime";
+        Asm_arm.I Arm.Ret;
+      ]
   in
   {
     im_name = vdso_name;
@@ -339,7 +406,9 @@ let do_execve (ctx : ctx) ~path ~argv ~envp : int =
     th.pending <- None;
     w.core_resident.(th.core) <- -1;
     (* map interpreter, main binary and (unless disabled) the vdso *)
-    let ldso = match find_library w ldso_path with Some i -> i | None -> panic "no ld.so" in
+    let ldso =
+      match find_library w (ldso_path_for w.isa) with Some i -> i | None -> panic "no ld.so"
+    in
     ignore (Mapper.map_image w p ldso);
     ignore (Mapper.map_image w p main_im);
     if p.vdso_enabled then begin
@@ -360,7 +429,7 @@ let do_execve (ctx : ctx) ~path ~argv ~envp : int =
     let per_lib = List.concat_map (fun lp -> lib_ops w p ~buf lp) load_order in
     let images_loaded () =
       (* every image with a recorded base, for relocation *)
-      List.filter_map (find_library w) (ldso_path :: path :: load_order)
+      List.filter_map (find_library w) (ldso_path_for w.isa :: path :: load_order)
     in
     let ctor_of im_path =
       match find_library w im_path with
@@ -403,9 +472,9 @@ let do_execve (ctx : ctx) ~path ~argv ~envp : int =
     in
     Hashtbl.replace p.pstates ldso_key (Ldso { plan; post = None });
     (* reset registers; start in the interpreter *)
-    Array.fill th.regs.gpr 0 16 0;
+    Array.fill th.regs.gpr 0 Regs.width 0;
     th.regs.pkru <- 0;
-    Regs.set th.regs RSP rsp;
+    Regs.seti th.regs (K23_isa.Isa.sp_index w.isa) rsp;
     th.regs.rip <-
       (match Mapper.image_sym p ldso "_start" with Some a -> a | None -> panic "ld.so entry");
     (* ptrace exec event *)

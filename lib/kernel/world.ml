@@ -14,6 +14,7 @@ open Kern
     {!create_cfg} over the legacy optional-argument {!create}. *)
 module Config = struct
   type t = {
+    isa : K23_isa.Isa.t;  (** instruction set of every image this world loads *)
     ncores : int;
     quantum : int;  (** scheduler timeslice, in instructions *)
     seed : int;  (** world RNG seed: ASLR draws + cost skew *)
@@ -26,6 +27,7 @@ module Config = struct
 
   let default =
     {
+      isa = K23_isa.Isa.X86_64;
       ncores = 12;
       quantum = 64;
       seed = 23;
@@ -38,10 +40,10 @@ module Config = struct
 
   (** [default] with the given fields overridden — the bridge from the
       optional-argument world constructors. *)
-  let make ?(ncores = default.ncores) ?(quantum = default.quantum) ?(seed = default.seed)
-      ?(aslr = default.aslr) ?(cost = default.cost) ?(ktrace = default.ktrace)
-      ?(predecode = default.predecode) ?(faults = default.faults) () =
-    { ncores; quantum; seed; aslr; cost; ktrace; predecode; faults }
+  let make ?(isa = default.isa) ?(ncores = default.ncores) ?(quantum = default.quantum)
+      ?(seed = default.seed) ?(aslr = default.aslr) ?(cost = default.cost)
+      ?(ktrace = default.ktrace) ?(predecode = default.predecode) ?(faults = default.faults) () =
+    { isa; ncores; quantum; seed; aslr; cost; ktrace; predecode; faults }
 
   (* every field is immutable ints/bools, so structural equality and
      the polymorphic hash are exact *)
@@ -52,12 +54,17 @@ module Config = struct
       [hash] it is readable in reports and cache file names). *)
   let to_string c =
     let m = c.cost in
-    Printf.sprintf
-      "ncores=%d quantum=%d seed=%d aslr=%b ktrace=%b predecode=%b \
-       cost=%d,%d,%d,%d,%d,%d,%d,%d %s"
-      c.ncores c.quantum c.seed c.aslr c.ktrace c.predecode m.insn m.nop m.syscall_base
-      m.sud_armed_extra m.sigsys_delivery m.sigreturn_extra m.ptrace_stop m.ptrace_mem_op
-      (K23_faults.Faults.to_string c.faults)
+    (* the isa prefix appears only for non-x86 configs so that every
+       pre-existing x86 key (cache file names, reports) is unchanged *)
+    (match c.isa with
+    | K23_isa.Isa.X86_64 -> ""
+    | isa -> Printf.sprintf "isa=%s " (K23_isa.Isa.to_string isa))
+    ^ Printf.sprintf
+        "ncores=%d quantum=%d seed=%d aslr=%b ktrace=%b predecode=%b \
+         cost=%d,%d,%d,%d,%d,%d,%d,%d %s"
+        c.ncores c.quantum c.seed c.aslr c.ktrace c.predecode m.insn m.nop m.syscall_base
+        m.sud_armed_extra m.sigsys_delivery m.sigreturn_extra m.ptrace_stop m.ptrace_mem_op
+        (K23_faults.Faults.to_string c.faults)
 end
 
 (* The wiring shared by {!create_cfg} and {!reset}: dispatch hooks,
@@ -67,8 +74,13 @@ end
 let wire (w : world) (cfg : Config.t) =
   w.syscall_impl <- Some Syscalls.dispatch;
   w.execve_impl <- Some Loader.do_execve;
-  register_library w (Loader.ldso_image ());
-  register_library w (Loader.vdso_image ());
+  (match cfg.isa with
+  | K23_isa.Isa.X86_64 ->
+    register_library w (Loader.ldso_image ());
+    register_library w (Loader.vdso_image ())
+  | K23_isa.Isa.Arm64 ->
+    register_library w (Loader.ldso_image_arm ());
+    register_library w (Loader.vdso_image_arm ()));
   List.iter
     (fun d -> ignore (Vfs.mkdir_p w.vfs d))
     [ "/bin"; "/usr/lib"; "/etc"; "/tmp"; "/home/user"; "/k23" ];
@@ -83,8 +95,8 @@ let wire (w : world) (cfg : Config.t) =
     skeleton. *)
 let create_cfg (cfg : Config.t) =
   let w =
-    create_world ~ncores:cfg.ncores ~quantum:cfg.quantum ~seed:cfg.seed ~aslr:cfg.aslr
-      ~cost:cfg.cost ~predecode:cfg.predecode ()
+    create_world ~isa:cfg.isa ~ncores:cfg.ncores ~quantum:cfg.quantum ~seed:cfg.seed
+      ~aslr:cfg.aslr ~cost:cfg.cost ~predecode:cfg.predecode ()
   in
   wire w cfg;
   w
@@ -106,8 +118,8 @@ let create_cfg (cfg : Config.t) =
       cannot change in place — a config differing there must rebuild
       ([Invalid_argument]). *)
 let reset (w : world) (cfg : Config.t) =
-  if cfg.ncores <> w.ncores || cfg.quantum <> w.quantum then
-    invalid_arg "World.reset: ncores/quantum differ from the world being reset";
+  if cfg.ncores <> w.ncores || cfg.quantum <> w.quantum || cfg.isa <> w.isa then
+    invalid_arg "World.reset: isa/ncores/quantum differ from the world being reset";
   Rng.reseed w.rng ~seed:cfg.seed;
   (* same draw order as create_world: skew first *)
   w.cost <- { cfg.cost with K23_machine.Cost.syscall_base = cfg.cost.K23_machine.Cost.syscall_base + Rng.int w.rng 3 - 1 };
@@ -135,16 +147,6 @@ let reset (w : world) (cfg : Config.t) =
   Array.fill w.ktrace_last_tid 0 w.ncores (-1);
   w.replay_exit <- None;
   wire w cfg
-
-(** Legacy constructor, kept as a thin wrapper over {!create_cfg}. *)
-let create ?ncores ?quantum ?seed ?aslr ?cost () =
-  create_cfg (Config.make ?ncores ?quantum ?seed ?aslr ?cost ())
-
-(** Flip the predecode memo of every core's I-cache at once. *)
-let set_predecode (w : world) on =
-  Array.iter (fun ic -> K23_machine.Icache.set_predecode ic on) w.icaches
-[@@deprecated "set Config.predecode (or World.create_cfg) instead: flipping a live world \
-               mid-run is racy under the domain pool"]
 
 (** Spawn a process running [path].  [env] is a list of "K=V" strings;
     LD_PRELOAD is honoured exactly as by the dynamic loader.  A

@@ -8,9 +8,10 @@
 open K23_isa
 
 type trap =
-  | Syscall_trap of { site : int; kind : [ `Syscall | `Sysenter ] }
+  | Syscall_trap of { site : int; kind : [ `Syscall | `Sysenter | `Svc ] }
       (** [site] is the address of the trapping instruction; rip has
-          already been advanced past it (x86 syscall semantics). *)
+          already been advanced past it (x86 syscall / arm64 svc
+          semantics). *)
   | Vcall_trap of int  (** host-function escape; rip advanced *)
   | Fault_trap of Memory.fault  (** rip NOT advanced *)
   | Ud_trap of int  (** undecodable bytes / ud2 at [addr]; rip not advanced *)
@@ -205,3 +206,116 @@ let step ?(cost = Cost.default) (regs : Regs.t) (mem : Memory.t) (icache : Icach
         regs.rip <- Regs.get regs r;
         Stepped c
     with Memory.Fault f -> Trapped (Fault_trap f, c))
+
+(** One AArch64 instruction: fixed-width aligned word fetch through
+    the I-cache, then direct execution.  No predecode memo — decoding
+    a word is a single mask-compare chain, and skipping the memo keeps
+    ARM lines byte-only (their lifetime semantics are identical).
+
+    Differences from the x86 step that matter to interposition:
+    [svc] clobbers {e nothing} (no rcx/r11 analogue — an ARM
+    trampoline can forward a syscall without any register surgery),
+    and calls link in x30 rather than pushing to the stack. *)
+let step_arm ?(cost = Cost.default) (regs : Regs.t) (mem : Memory.t) (icache : Icache.t) :
+    outcome =
+  let pc = regs.rip in
+  if pc land 3 <> 0 then Trapped (Ud_trap pc, 1)
+  else
+    match Icache.fetch_u32 icache mem pc with
+    | exception Memory.Fault f -> Trapped (Fault_trap f, 1)
+    | word -> (
+      match K23_isa_arm.Arm.decode word with
+      | None -> Trapped (Ud_trap pc, 1)
+      | Some insn -> (
+        let open K23_isa_arm.Arm in
+        let c = match insn with Nop -> cost.Cost.nop | _ -> cost.Cost.insn in
+        let next = pc + 4 in
+        let ok () =
+          regs.rip <- next;
+          Stepped c
+        in
+        let g i = Regs.geti regs i in
+        let s i v = Regs.seti regs i v in
+        try
+          match insn with
+          | Nop -> ok ()
+          | Svc _ ->
+            regs.rip <- next;
+            Trapped (Syscall_trap { site = pc; kind = `Svc }, c)
+          | Vcall n ->
+            regs.rip <- next;
+            Trapped (Vcall_trap n, c)
+          | Brk _ -> Trapped (Int3_trap pc, c)
+          | Bl off ->
+            s 30 next;
+            regs.rip <- pc + (4 * off);
+            Stepped c
+          | B off ->
+            regs.rip <- pc + (4 * off);
+            Stepped c
+          | B_cond (cnd, off) ->
+            regs.rip <- (if cond_holds regs cnd then pc + (4 * off) else next);
+            Stepped c
+          | Br rn ->
+            regs.rip <- g rn;
+            Stepped c
+          | Blr rn ->
+            let t = g rn in
+            s 30 next;
+            regs.rip <- t;
+            Stepped c
+          | Ret ->
+            regs.rip <- g 30;
+            Stepped c
+          | Movz (rd, imm) ->
+            s rd imm;
+            ok ()
+          | Movk (rd, imm, hw) ->
+            let sh = 16 * hw in
+            s rd ((g rd land lnot (0xffff lsl sh)) lor (imm lsl sh));
+            ok ()
+          | Movn (rd, imm, hw) ->
+            s rd (lnot (imm lsl (16 * hw)));
+            ok ()
+          | Mov_rr (rd, rm) ->
+            s rd (g rm);
+            ok ()
+          | Add_imm (rd, rn, imm) ->
+            s rd (g rn + imm);
+            ok ()
+          | Subs_imm (rd, rn, imm) ->
+            let v = g rn - imm in
+            if rd <> 31 then s rd v;
+            set_flags regs v;
+            ok ()
+          | Add_rr (rd, rn, rm) ->
+            s rd (g rn + g rm);
+            ok ()
+          | Sub_rr (rd, rn, rm) ->
+            s rd (g rn - g rm);
+            ok ()
+          | Subs_rr (rd, rn, rm) ->
+            let v = g rn - g rm in
+            if rd <> 31 then s rd v;
+            set_flags regs v;
+            ok ()
+          | Ldr_lit (rd, off) ->
+            s rd (Memory.read_u64 mem ~pkru:regs.pkru (pc + (4 * off)));
+            ok ()
+          | Ldr (rt, rn, imm) ->
+            s rt (Memory.read_u64 mem ~pkru:regs.pkru (g rn + imm));
+            ok ()
+          | Str (rt, rn, imm) ->
+            let addr = g rn + imm in
+            Memory.write_u64 mem ~pkru:regs.pkru addr (g rt);
+            Icache.invalidate_range icache ~addr ~len:8;
+            ok ()
+          | Ldrb (rt, rn, imm) ->
+            s rt (Memory.read_u8 mem ~pkru:regs.pkru (g rn + imm));
+            ok ()
+          | Strb (rt, rn, imm) ->
+            let addr = g rn + imm in
+            Memory.write_u8 mem ~pkru:regs.pkru addr (g rt land 0xff);
+            Icache.invalidate_range icache ~addr ~len:1;
+            ok ()
+        with Memory.Fault f -> Trapped (Fault_trap f, c)))

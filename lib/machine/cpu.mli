@@ -6,7 +6,7 @@
     handle. *)
 
 type trap =
-  | Syscall_trap of { site : int; kind : [ `Syscall | `Sysenter ] }
+  | Syscall_trap of { site : int; kind : [ `Syscall | `Sysenter | `Svc ] }
       (** [site] is the trapping instruction's address; rip has already
           been advanced past it and rcx/r11 clobbered (x86 syscall
           semantics — the clobber K23's trampoline exploits). *)
@@ -25,3 +25,9 @@ val trap_name : trap -> string
     ktrace event/counter hooks. *)
 
 val step : ?cost:Cost.model -> Regs.t -> Memory.t -> Icache.t -> outcome
+
+val step_arm : ?cost:Cost.model -> Regs.t -> Memory.t -> Icache.t -> outcome
+(** One AArch64 instruction: aligned 4-byte word fetch
+    ({!Icache.fetch_u32}), mask-compare decode, direct execution.
+    [svc] raises [Syscall_trap] with kind [`Svc] and clobbers no
+    registers. *)

@@ -101,6 +101,16 @@ let fetch_u8 t (mem : Memory.t) addr =
   let line = get_line t mem addr in
   Char.code (Bytes.get line.bytes (addr - line_base addr))
 
+(** Fetch one aligned 32-bit little-endian instruction word (arm64
+    fixed-width fetch).  [addr] must be 4-aligned, so the word never
+    straddles a 64-byte line: it sees exactly one line's (possibly
+    stale) bytes, preserving the P3b semantics of the byte model. *)
+let fetch_u32 t (mem : Memory.t) addr =
+  let line = get_line t mem addr in
+  let off = addr - line_base addr in
+  let b i = Char.code (Bytes.unsafe_get line.bytes (off + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
 (** Fetch and decode the instruction at [addr] through the cache.
     With predecode on, serves/fills the line's per-offset memo;
     instructions straddling the line boundary (and all fetches with

@@ -26,6 +26,12 @@ val fetch_u8 : t -> Memory.t -> int -> int
     line on miss.
     @raise Memory.Fault when the line's page is not executable. *)
 
+val fetch_u32 : t -> Memory.t -> int -> int
+(** Fetch one 4-aligned little-endian instruction word through the
+    cache (arm64 fixed-width fetch).  Aligned words never straddle a
+    line, so staleness is per-line exactly as for {!fetch_u8}.
+    @raise Memory.Fault as {!fetch_u8}. *)
+
 val fetch_decode : t -> Memory.t -> int -> (K23_isa.Insn.t * int, K23_isa.Decode.error) result
 (** Fetch and decode the instruction starting at the address, serving
     the line's predecode memo when possible.  Instructions straddling
@@ -36,9 +42,9 @@ val fetch_decode : t -> Memory.t -> int -> (K23_isa.Insn.t * int, K23_isa.Decode
 val set_predecode : t -> bool -> unit
 (** Enable/disable this instance's predecode memo.  Off,
     {!fetch_decode} decodes byte-by-byte through {!fetch_u8} — the
-    reference path the coherence tests compare against.  Prefer
-    setting it at creation time (via [World.Config.predecode]);
-    [World.set_predecode] flips every cache of a world at once. *)
+    reference path the coherence tests compare against.  Set it at
+    creation time via [World.Config.predecode] — worlds configure
+    every core's cache consistently from there. *)
 
 val predecode_enabled : t -> bool
 

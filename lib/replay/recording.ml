@@ -203,6 +203,11 @@ let to_string r =
   if r.rc_argv <> [] then pr "argv: %s\n" (String.concat " " (List.map escape_token r.rc_argv));
   pr "mech: %s\n" (Mech.to_string r.rc_mech);
   let c = r.rc_cfg in
+  (* emitted only for non-x86 recordings: pre-ISA files stay
+     byte-identical and old readers skip the unknown key *)
+  (match c.World.Config.isa with
+  | K23_isa.Isa.X86_64 -> ()
+  | isa -> pr "isa: %s\n" (K23_isa.Isa.to_string isa));
   pr "ncores: %d\n" c.World.Config.ncores;
   pr "quantum: %d\n" c.World.Config.quantum;
   pr "seed: %d\n" c.World.Config.seed;
@@ -247,6 +252,10 @@ let of_string s =
             match Mech.of_string v with
             | Some m -> mech := Some m
             | None -> fail "unknown mechanism: %S" v)
+          | "isa" -> (
+            match K23_isa.Isa.of_string v with
+            | Some isa -> cfg := { !cfg with World.Config.isa = isa }
+            | None -> fail "unknown isa: %S" v)
           | "ncores" -> cfg := { !cfg with World.Config.ncores = iv "ncores" }
           | "quantum" -> cfg := { !cfg with World.Config.quantum = iv "quantum" }
           | "seed" -> cfg := { !cfg with World.Config.seed = iv "seed" }

@@ -27,8 +27,9 @@ let reset_world_cfg w cfg =
   populate w
 
 (** Legacy optional-argument constructor (thin wrapper). *)
-let create_world ?ncores ?quantum ?seed ?aslr ?cost ?ktrace ?predecode () =
-  create_world_cfg (World.Config.make ?ncores ?quantum ?seed ?aslr ?cost ?ktrace ?predecode ())
+let create_world ?isa ?ncores ?quantum ?seed ?aslr ?cost ?ktrace ?predecode () =
+  create_world_cfg
+    (World.Config.make ?isa ?ncores ?quantum ?seed ?aslr ?cost ?ktrace ?predecode ())
 
 (** Define and register an application binary.
 
@@ -40,6 +41,29 @@ let register_app w ~path ?(needed = [ Libc.path ]) ?(entry = "main") ?init
     {
       im_name = path;
       im_prog = K23_isa.Asm.assemble items;
+      im_host_fns = host_fns;
+      im_init = init;
+      im_entry = Some entry;
+      im_needed = needed;
+      im_owner = App;
+    }
+  in
+  Kern.register_library w im;
+  im
+
+(** {!register_app} for an already-assembled program — the seam that
+    keeps this module ISA-agnostic: ARM callers assemble their items
+    with [K23_isa_arm.Asm_arm.assemble] (the userland layer has no
+    backend dependency) and register the resulting neutral program.
+    [needed] defaults to [[]]: there is no ARM libc image, apps are
+    freestanding (ld.so still runs its boilerplate, so P2b-class
+    startup syscalls exist on ARM too). *)
+let register_app_prog w ~path ?(needed = []) ?(entry = "main") ?init ?(host_fns = [])
+    (prog : K23_isa.Asm.program) =
+  let im : Kern.image =
+    {
+      im_name = path;
+      im_prog = prog;
       im_host_fns = host_fns;
       im_init = init;
       im_entry = Some entry;

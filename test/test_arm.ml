@@ -31,6 +31,56 @@ let prop_roundtrip =
   QCheck.Test.make ~name:"arm encode/decode roundtrip" ~count:1000 (QCheck.make arm_gen)
     (fun i -> Arm.decode (Arm.encode i) = Some i)
 
+(* the full machine-target instruction set (grown for the backend):
+   every constructor round-trips, mirroring x86's random_insn property *)
+let arm_gen_full =
+  let open QCheck.Gen in
+  let reg = map (fun r -> r land 31) nat in
+  let cond =
+    oneofl [ Insn.Z; Insn.NZ; Insn.LT; Insn.GE; Insn.LE; Insn.GT ]
+  in
+  oneof
+    [
+      arm_gen;
+      map (fun o -> Arm.B ((o land 0x7fff) - 0x4000)) nat;
+      map (fun o -> Arm.Bl ((o land 0x7fff) - 0x4000)) nat;
+      map2 (fun c o -> Arm.B_cond (c, (o land 0x7fff) - 0x4000)) cond nat;
+      map (fun r -> Arm.Br r) reg;
+      map (fun r -> Arm.Blr r) reg;
+      map2 (fun r i -> Arm.Movk (r, i land 0xffff, (i lsr 16) land 3)) reg nat;
+      map2 (fun r i -> Arm.Movn (r, i land 0xffff, (i lsr 16) land 3)) reg nat;
+      map2 (fun rd rm -> Arm.Mov_rr (rd, rm)) reg reg;
+      map3 (fun rd rn i -> Arm.Subs_imm (rd, rn, i land 0xfff)) reg reg nat;
+      map3 (fun rd rn rm -> Arm.Add_rr (rd, rn, rm land 31)) reg reg nat;
+      map3 (fun rd rn rm -> Arm.Sub_rr (rd, rn, rm land 31)) reg reg nat;
+      map3 (fun rd rn rm -> Arm.Subs_rr (rd, rn, rm land 31)) reg reg nat;
+      map3 (fun rt rn o -> Arm.Ldr (rt, rn, (o land 0xfff) * 8)) reg reg nat;
+      map3 (fun rt rn o -> Arm.Str (rt, rn, (o land 0xfff) * 8)) reg reg nat;
+      map3 (fun rt rn o -> Arm.Ldrb (rt, rn, o land 0xfff)) reg reg nat;
+      map3 (fun rt rn o -> Arm.Strb (rt, rn, o land 0xfff)) reg reg nat;
+      map (fun n -> Arm.Vcall (n land 0xffff)) nat;
+      map (fun n -> Arm.Brk (n land 0xffff)) nat;
+      map (fun o -> Arm.Ldr_lit (o land 31, ((o lsr 5) land 0x7fff) - 0x4000)) nat;
+    ]
+
+let prop_roundtrip_full =
+  QCheck.Test.make ~name:"arm full insn set roundtrip" ~count:2000 (QCheck.make arm_gen_full)
+    (fun i -> Arm.decode (Arm.encode i) = Some i)
+
+(* sweeping arbitrary BYTE SOUP (not just code) never desynchronises:
+   a fixed-width decoder visits exactly the aligned words, so every
+   reported offset is 0 mod 4 and the site count is length/4 — the
+   structural absence of P2a/P3b that the pitfall matrix claims *)
+let prop_sweep_byte_soup =
+  QCheck.Test.make ~name:"arm sweep never desynchronises on byte soup" ~count:500
+    QCheck.(make Gen.(list_size (int_range 0 257) (int_range 0 255)))
+    (fun bs ->
+      let b = Bytes.init (List.length bs) (fun i -> Char.chr (List.nth bs i)) in
+      let sw = Arm.sweep b ~base:0 in
+      List.length sw = Bytes.length b / 4
+      && List.for_all (fun (off, _) -> off land 3 = 0) sw
+      && List.mapi (fun i (off, _) -> off = 4 * i) sw |> List.for_all Fun.id)
+
 (* fixed length => sweep is exact on pure code, ALWAYS *)
 let prop_sweep_exact =
   QCheck.Test.make ~name:"arm sweep is exact on any code" ~count:500
@@ -91,6 +141,8 @@ let tests =
     [
       Alcotest.test_case "roundtrip" `Quick test_roundtrip;
       QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_roundtrip_full;
+      QCheck_alcotest.to_alcotest prop_sweep_byte_soup;
       QCheck_alcotest.to_alcotest prop_sweep_exact;
       Alcotest.test_case "embedded svc not executable (vs x86 P3b)" `Quick
         test_embedded_svc_is_not_executable;

@@ -51,6 +51,7 @@ let test_mech_roundtrip () =
   Alcotest.(check bool) "zpoline alias" true (Mech.of_string "zpoline" = Some Mech.Zpoline_default);
   Alcotest.(check bool) "k23 alias" true (Mech.of_string "k23" = Some Mech.K23_default);
   Alcotest.(check bool) "case-insensitive" true (Mech.of_string "SECCOMP" = Some Mech.Seccomp);
+  Alcotest.(check bool) "asc-hook parses" true (Mech.of_string "asc-hook" = Some Mech.Asc_hook);
   Alcotest.(check bool) "unknown rejected" true (Mech.of_string "frobnicate" = None)
 
 let test_fig3_format () =

@@ -106,7 +106,7 @@ let signal_wake_items =
   ]
 
 let test_signal_wakes_blocked_wait () =
-  match Oracle.run_raw ~mech:Mech.Native signal_wake_items with
+  match Oracle.run_raw ~mech:Mech.Native (K23_fuzz.Gen.X86 signal_wake_items) with
   | Error e -> Alcotest.failf "launch error %d" e
   | Ok (_, p, events) ->
     Alcotest.(check (option int)) "parent exits 0" (Some 0) p.Kern.exit_status;
@@ -179,7 +179,7 @@ let restart_cfg =
    from interposition-owned code (trampoline or interposer), not from a
    raw kernel-side re-dispatch -- the paper's P4 shadow *)
 let check_restart_reenters mech ~owner_ok =
-  match Oracle.run_raw ~cfg:restart_cfg ~mech restart_items with
+  match Oracle.run_raw ~cfg:restart_cfg ~mech (K23_fuzz.Gen.X86 restart_items) with
   | Error e -> Alcotest.failf "%s: launch error %d" (Mech.to_string mech) e
   | Ok (_, p, events) ->
     Alcotest.(check (option int))

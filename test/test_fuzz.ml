@@ -59,11 +59,12 @@ let test_programs_terminate () =
    misdirects call *rax(0) down its page-0 trampoline, where natively
    the jump is a fatal fault (P4a) *)
 let null_call_items =
-  [
-    K23_isa.Asm.Label "main";
-    K23_isa.Asm.I (K23_isa.Insn.Xor_rr (RAX, RAX));
-    K23_isa.Asm.I (K23_isa.Insn.Call_reg RAX);
-  ]
+  Gen.X86
+    [
+      K23_isa.Asm.Label "main";
+      K23_isa.Asm.I (K23_isa.Insn.Xor_rr (RAX, RAX));
+      K23_isa.Asm.I (K23_isa.Insn.Call_reg RAX);
+    ]
 
 let test_mitigation_off_detected () =
   match Oracle.diverges ~mech:Mech.Zpoline_default null_call_items with
@@ -124,6 +125,76 @@ let test_corpus_roundtrip () =
     (Mech.to_string e'.Corpus.e_mech);
   Alcotest.(check bool) "fault plan round-trips" true (e.Corpus.e_faults = e'.Corpus.e_faults)
 
+(* the ARM smoke invariant: the same conformance-safe mix, generated
+   by the AArch64 backend, conforms under the ARM mechanism column *)
+let arm_world_cfg =
+  { Oracle.default_world_cfg with K23_kernel.World.Config.isa = K23_isa.Isa.Arm64 }
+
+let test_arm_smoke_no_divergence () =
+  let config =
+    {
+      Campaign.default_config with
+      c_seed = 23;
+      c_iters = 8;
+      c_mechs = Oracle.default_mechs_for K23_isa.Isa.Arm64;
+      c_world = arm_world_cfg;
+    }
+  in
+  let r = Campaign.run config in
+  Alcotest.(check int) "programs" 8 r.Campaign.r_programs;
+  List.iter
+    (fun (m, n) ->
+      Alcotest.(check int) (Printf.sprintf "%s divergences" (Mech.to_string m)) 0 n)
+    r.Campaign.r_divergent
+
+(* the svc-alias shape is the designed ARM divergence: a campaign over
+   it catches ASC-Hook patching the program's literal pool (P3a) *)
+let test_arm_svc_alias_detected () =
+  let config =
+    {
+      Campaign.default_config with
+      c_seed = 23;
+      c_iters = 6;
+      c_mechs = [ Mech.Asc_hook ];
+      c_shapes = [ Gen.Svc_alias; Gen.Raw ];
+      c_world = arm_world_cfg;
+    }
+  in
+  let r = Campaign.run config in
+  Alcotest.(check bool) "asc-hook diverges on svc-alias" true
+    (Campaign.total_divergences r > 0)
+
+(* ARM corpus entries round-trip, and the [isa:] header key is emitted
+   exactly for them — x86 entries keep their pre-ISA bytes *)
+let test_arm_corpus_roundtrip () =
+  let rng = Rng.create ~seed:11 in
+  let prog = Gen.generate ~shapes:(Gen.all_shapes_for K23_isa.Isa.Arm64) ~isa:K23_isa.Isa.Arm64 rng in
+  Alcotest.(check bool) "generator tags arm" true
+    (Gen.items_isa prog.Gen.items = K23_isa.Isa.Arm64);
+  let e =
+    {
+      Corpus.e_mech = Mech.Asc_hook;
+      e_seed = 11;
+      e_expect = "pid 0 record 1: native=a mech=b";
+      e_faults = None;
+      e_items = prog.Gen.items;
+    }
+  in
+  let text = Corpus.to_string e in
+  let contains ~needle s =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "isa header present" true (contains ~needle:"isa: arm64" text);
+  let e' = Corpus.of_string text in
+  Alcotest.(check bool) "arm items round-trip" true (e.Corpus.e_items = e'.Corpus.e_items);
+  (* x86 entries must not grow an isa header (byte compatibility) *)
+  let x86 = Gen.generate (Rng.create ~seed:11) in
+  let ex = { e with Corpus.e_items = x86.Gen.items } in
+  Alcotest.(check bool) "no isa header on x86" false
+    (contains ~needle:"isa:" (Corpus.to_string ex))
+
 (* every checked-in repro still reproduces its divergence, and stays
    within the minimality budget *)
 let test_corpus_replay () =
@@ -136,9 +207,16 @@ let test_corpus_replay () =
         true
         (Gen.insn_count e.Corpus.e_items <= 16);
       let cfg =
-        Option.map
-          (fun p -> { Oracle.default_world_cfg with K23_kernel.World.Config.faults = p })
-          e.Corpus.e_faults
+        let base =
+          {
+            Oracle.default_world_cfg with
+            K23_kernel.World.Config.isa = Gen.items_isa e.Corpus.e_items
+          }
+        in
+        Some
+          (match e.Corpus.e_faults with
+          | Some p -> { base with K23_kernel.World.Config.faults = p }
+          | None -> base)
       in
       match Oracle.diverges ?cfg ~mech:e.Corpus.e_mech e.Corpus.e_items with
       | Some _ -> ()
@@ -155,5 +233,9 @@ let tests =
       Alcotest.test_case "mitigation-off detected (P4a)" `Quick test_mitigation_off_detected;
       Alcotest.test_case "shrinker minimizes repro" `Quick test_shrink_minimizes;
       Alcotest.test_case "corpus round-trip" `Quick test_corpus_roundtrip;
+      Alcotest.test_case "arm smoke: no divergence (safe shapes)" `Quick
+        test_arm_smoke_no_divergence;
+      Alcotest.test_case "arm svc-alias detected (P3a)" `Quick test_arm_svc_alias_detected;
+      Alcotest.test_case "arm corpus round-trip (isa header)" `Quick test_arm_corpus_roundtrip;
       Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
     ] )

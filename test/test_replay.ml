@@ -155,6 +155,27 @@ let test_replay_oracle_matches_live () =
   let j_replay4 = C.render_json (C.run ~jobs:4 replayed) in
   Alcotest.(check string) "replay oracle jobs 1 = jobs 4" j_replay j_replay4
 
+(* the recording wire format pins the world's ISA: an ARM recording
+   carries an [isa: arm64] header that survives the round-trip, while
+   x86 recordings keep their pre-ISA bytes (no isa line at all) *)
+let test_recording_isa_wire_format () =
+  let module Gen = K23_fuzz.Gen in
+  let arm_cfg =
+    { Oracle.default_world_cfg with K23_kernel.World.Config.isa = K23_isa.Isa.Arm64 }
+  in
+  let prog = Gen.generate ~isa:K23_isa.Isa.Arm64 (K23_util.Rng.create ~seed:5) in
+  (match Oracle.record ~cfg:arm_cfg ~mech:Mech.Native prog.Gen.items with
+  | Error e -> Alcotest.failf "arm record failed (%d)" e
+  | Ok r ->
+    let text = Recording.to_string r in
+    Alcotest.(check bool) "isa header present" true (contains ~needle:"\nisa: arm64\n" text);
+    let r' = Recording.of_string text in
+    Alcotest.(check bool) "isa survives round-trip" true
+      (r'.Recording.rc_cfg.K23_kernel.World.Config.isa = K23_isa.Isa.Arm64));
+  let x86 = record_ls Mech.Zpoline_ultra in
+  Alcotest.(check bool) "no isa header on x86" false
+    (contains ~needle:"\nisa:" (Recording.to_string x86))
+
 (* every checked-in repro records and replays cleanly under its own
    mechanism and fault plan — including the PR 8 restart repro, whose
    faults: header must re-arm the schedule from the recorded config *)
@@ -169,18 +190,33 @@ let test_corpus_record_replay () =
   List.iter
     (fun (name, e) ->
       let cfg =
+        let base =
+          {
+            Oracle.default_world_cfg with
+            K23_kernel.World.Config.isa = Gen.items_isa e.Corpus.e_items
+          }
+        in
         match e.Corpus.e_faults with
-        | Some p -> { Oracle.default_world_cfg with K23_kernel.World.Config.faults = p }
-        | None -> Oracle.default_world_cfg
+        | Some p -> { base with K23_kernel.World.Config.faults = p }
+        | None -> base
       in
       match Oracle.record ~cfg ~mech:e.Corpus.e_mech e.Corpus.e_items with
       | Error err -> Alcotest.failf "%s: record failed (%d)" name err
       | Ok r -> (
         let r = Recording.of_string (Recording.to_string r) in
         let register w =
-          ignore (K23_userland.Sim.register_app w ~path:Oracle.target_path e.Corpus.e_items);
-          ignore
-            (K23_userland.Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items)
+          match e.Corpus.e_items with
+          | Gen.X86 its ->
+            ignore (K23_userland.Sim.register_app w ~path:Oracle.target_path its);
+            ignore
+              (K23_userland.Sim.register_app w ~path:Gen.exec_child_path Gen.exec_child_items)
+          | Gen.A64 its ->
+            let module A = K23_isa_arm.Asm_arm in
+            ignore
+              (K23_userland.Sim.register_app_prog w ~path:Oracle.target_path (A.assemble its));
+            ignore
+              (K23_userland.Sim.register_app_prog w ~path:Gen.exec_child_path
+                 (A.assemble Gen.exec_child_items_arm))
         in
         match Replayer.replay ~register r with
         | Error err -> Alcotest.failf "%s: replay launch failed (%d)" name err
@@ -201,5 +237,6 @@ let tests =
       Alcotest.test_case "tampered log diverges at cut" `Quick test_replay_detects_tampering;
       Alcotest.test_case "--at inspector (SUD signal storm)" `Quick test_at_inspector;
       Alcotest.test_case "replay oracle = live oracle" `Quick test_replay_oracle_matches_live;
+      Alcotest.test_case "recording isa wire format" `Quick test_recording_isa_wire_format;
       Alcotest.test_case "corpus record/replay (incl. faults)" `Quick test_corpus_record_replay;
     ] )
